@@ -1,0 +1,474 @@
+package repro
+
+// One testing.B benchmark per experiment of the synthetic evaluation
+// suite (DESIGN.md E1-E6), plus the ablations the design calls out.
+// cmd/zbench renders the same experiments as full tables; these benches
+// make each one reproducible under `go test -bench`.
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/controller"
+	"repro/internal/dataplane"
+	"repro/internal/flowtable"
+	"repro/internal/intent"
+	"repro/internal/packet"
+	"repro/internal/te"
+	"repro/internal/topo"
+	"repro/internal/update"
+	"repro/internal/workload"
+	"repro/internal/zof"
+)
+
+// --- E1: reactive flow setup ------------------------------------------------
+
+// e1Session is one fake switch connected to a live controller.
+type e1Session struct {
+	conn *zof.Conn
+	gen  *workload.FlowGen
+	buf  *packet.Buffer
+	next uint32
+}
+
+func newE1Session(b *testing.B, addr string, dpid uint64) *e1Session {
+	b.Helper()
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	conn := zof.NewConn(raw)
+	if err := conn.Handshake(); err != nil {
+		b.Fatal(err)
+	}
+	fr := &zof.FeaturesReply{DPID: dpid, NumTables: 1}
+	for p := uint32(1); p <= 4; p++ {
+		fr.Ports = append(fr.Ports, zof.PortInfo{No: p, Name: fmt.Sprintf("p%d", p)})
+	}
+	for {
+		msg, h, err := conn.Receive()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, ok := msg.(*zof.FeaturesRequest); ok {
+			if err := conn.SendXID(fr, h.XID); err != nil {
+				b.Fatal(err)
+			}
+			break
+		}
+	}
+	return &e1Session{conn: conn,
+		gen: workload.NewFlowGen(64, 1.2, int64(dpid)),
+		buf: packet.NewBuffer(256), next: 1}
+}
+
+func (s *e1Session) fire(b *testing.B) {
+	spec := s.gen.Next()
+	frame := spec.Frame(s.buf, 32)
+	id := s.next
+	s.next++
+	pi := &zof.PacketIn{BufferID: id, TotalLen: uint16(len(frame)),
+		InPort: 1 + id%4, Reason: zof.ReasonNoMatch, Data: frame}
+	if _, err := s.conn.Send(pi); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func (s *e1Session) await(b *testing.B) {
+	for {
+		msg, _, err := s.conn.Receive()
+		if err != nil {
+			b.Fatal(err)
+		}
+		switch msg.(type) {
+		case *zof.FlowMod, *zof.PacketOut:
+			return
+		}
+	}
+}
+
+// BenchmarkE1FlowSetup measures one reactive flow-setup round trip:
+// packet-in to the controller's learning app, response back — the unit
+// of cbench throughput. Sub-benchmarks vary the pipelining window.
+func BenchmarkE1FlowSetup(b *testing.B) {
+	for _, window := range []int{1, 16} {
+		b.Run(fmt.Sprintf("window-%d", window), func(b *testing.B) {
+			ctl, err := controller.New(controller.Config{EventQueue: 1 << 16})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer ctl.Close()
+			ctl.Use(apps.NewLearningSwitch())
+			s := newE1Session(b, ctl.Addr(), 9001)
+			defer s.conn.Close()
+
+			b.ResetTimer()
+			inFlight := 0
+			for i := 0; i < b.N; i++ {
+				s.fire(b)
+				inFlight++
+				if inFlight >= window {
+					s.await(b)
+					inFlight--
+				}
+			}
+			for ; inFlight > 0; inFlight-- {
+				s.await(b)
+			}
+		})
+	}
+}
+
+// --- E2: lookup scaling ------------------------------------------------------
+
+// e2Fixture mirrors the experiment's structures at one size.
+type e2Fixture struct {
+	linear *flowtable.Table
+	tuple  *flowtable.TupleSpace
+	exact  *flowtable.Exact[int]
+	lpm    *flowtable.LPM[int]
+	frames []*packet.Frame
+	keys   []packet.FlowKey
+	addrs  []uint32
+}
+
+func buildE2(b *testing.B, n int) *e2Fixture {
+	b.Helper()
+	fx := &e2Fixture{
+		linear: flowtable.NewTable(0),
+		tuple:  flowtable.NewTupleSpace(),
+		exact:  flowtable.NewExact[int](n),
+		lpm:    flowtable.NewLPM[int](),
+	}
+	now := time.Unix(0, 0)
+	rng := rand.New(rand.NewSource(int64(n)))
+	var prefixes []uint32
+	for i := 0; i < n; i++ {
+		p := rng.Uint32() &^ 0xff // distinct-ish random /24s
+		prefixes = append(prefixes, p)
+		m := zof.MatchAll()
+		m.Wildcards &^= zof.WEtherType
+		m.EtherType = packet.EtherTypeIPv4
+		m.IPDst = packet.IPv4FromUint32(p)
+		m.DstPrefix = 24
+		e := &flowtable.Entry{Match: m, Priority: uint16(i % 8),
+			Actions: []zof.Action{zof.Output(1)}}
+		_ = fx.linear.Add(e, false, now)
+		fx.tuple.Insert(e)
+		fx.lpm.Insert(p, 24, i)
+	}
+	buf := packet.NewBuffer(128)
+	for i := 0; i < 512; i++ {
+		p := prefixes[i%len(prefixes)]
+		dst := packet.IPv4FromUint32(p | uint32(i&0xff))
+		buf.Reset()
+		udp := packet.UDP{SrcPort: uint16(i), DstPort: 80}
+		udp.SerializeTo(buf)
+		ip := packet.IPv4{TTL: 64, Protocol: packet.ProtoUDP,
+			Src: packet.IPv4Addr{1, 2, 3, 4}, Dst: dst}
+		ip.SerializeTo(buf)
+		eth := packet.Ethernet{EtherType: packet.EtherTypeIPv4}
+		eth.SerializeTo(buf)
+		var f packet.Frame
+		if err := packet.Decode(append([]byte(nil), buf.Bytes()...), &f); err != nil {
+			b.Fatal(err)
+		}
+		fx.frames = append(fx.frames, &f)
+		key := packet.ExtractFlowKey(&f)
+		fx.keys = append(fx.keys, key)
+		fx.exact.Put(key, i)
+		fx.addrs = append(fx.addrs, dst.Uint32())
+	}
+	return fx
+}
+
+// BenchmarkE2Lookup sweeps structure x size; the experiment's figure is
+// the ns/op of each sub-benchmark.
+func BenchmarkE2Lookup(b *testing.B) {
+	for _, n := range []int{1000, 100000} {
+		fx := buildE2(b, n)
+		now := time.Unix(0, 0)
+		nf := len(fx.frames)
+		b.Run(fmt.Sprintf("linear-%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				fx.linear.Lookup(fx.frames[i%nf], 1, 64, now)
+			}
+		})
+		b.Run(fmt.Sprintf("tuple-%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				fx.tuple.Lookup(fx.frames[i%nf], 1)
+			}
+		})
+		b.Run(fmt.Sprintf("lpm-%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				fx.lpm.Lookup(fx.addrs[i%nf])
+			}
+		})
+		b.Run(fmt.Sprintf("exact-%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				fx.exact.Get(fx.keys[i%nf])
+			}
+		})
+	}
+}
+
+// BenchmarkE2aMicroCache is the ablation: the authoritative table
+// fronted by the microflow cache versus bare.
+func BenchmarkE2aMicroCache(b *testing.B) {
+	fx := buildE2(b, 10000)
+	now := time.Unix(0, 0)
+	nf := len(fx.frames)
+	b.Run("bare", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			fx.linear.Lookup(fx.frames[i%nf], 1, 64, now)
+		}
+	})
+	b.Run("cached", func(b *testing.B) {
+		cache := flowtable.NewMicroCache(1 << 16)
+		gen := fx.linear.Gen()
+		// Warm every microflow so the measurement reflects the steady
+		// state (one authoritative lookup per flow, then cache hits).
+		for _, f := range fx.frames {
+			key := flowtable.MakeCacheKey(f, 1)
+			cache.Put(key, gen, fx.linear.Lookup(f, 1, 64, now))
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			f := fx.frames[i%nf]
+			key := flowtable.MakeCacheKey(f, 1)
+			if _, ok := cache.Get(key, gen); !ok {
+				e := fx.linear.Lookup(f, 1, 64, now)
+				cache.Put(key, gen, e)
+			}
+		}
+	})
+}
+
+// --- E3: WAN TE --------------------------------------------------------------
+
+// BenchmarkE3Utilization times one full TE solve on the WAN at the
+// experiment's knee, reporting the delivered fraction and the gain
+// over the shortest-path baseline as custom metrics.
+func BenchmarkE3Utilization(b *testing.B) {
+	g, _ := topo.WAN(1000)
+	m := workload.Gravity(g, 10000, 4).Scale(1.2)
+	var frac, gain float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		alloc, err := te.Solve(g, m, te.Config{KPaths: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sp := te.SolveShortestPath(g, m, 0)
+		frac = alloc.DeliveredFraction()
+		gain = alloc.TotalAllocated() / sp.TotalAllocated()
+	}
+	b.ReportMetric(frac, "delivered-frac")
+	b.ReportMetric(gain, "gain-vs-sp")
+}
+
+// BenchmarkE3aKPaths is the path-diversity ablation.
+func BenchmarkE3aKPaths(b *testing.B) {
+	g, _ := topo.WAN(1000)
+	m := workload.Gravity(g, 10000, 4).Scale(1.2)
+	for _, k := range []int{1, 4} {
+		b.Run(fmt.Sprintf("k-%d", k), func(b *testing.B) {
+			var frac float64
+			for i := 0; i < b.N; i++ {
+				alloc, err := te.Solve(g, m, te.Config{KPaths: k})
+				if err != nil {
+					b.Fatal(err)
+				}
+				frac = alloc.DeliveredFraction()
+			}
+			b.ReportMetric(frac, "delivered-frac")
+		})
+	}
+}
+
+// --- E4: congestion-free updates ---------------------------------------------
+
+// BenchmarkE4Update times planning one congestion-free WAN transition
+// with 10% scratch, reporting the intermediate-step count.
+func BenchmarkE4Update(b *testing.B) {
+	g, _ := topo.WAN(1000)
+	caps := update.Capacities(g)
+	m1 := workload.Gravity(g, 9000, 11)
+	m2 := workload.Perturb(m1, 0.8, 12)
+	old, err := te.Solve(g, m1, te.Config{KPaths: 4, Headroom: 0.1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	target, err := te.Solve(g, m2, te.Config{KPaths: 4, Headroom: 0.1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var steps int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		plan, err := (update.Planner{MaxIntermediates: 16}).Plan(old, target, caps)
+		if err != nil {
+			b.Fatal(err)
+		}
+		steps = plan.Intermediates()
+	}
+	b.ReportMetric(float64(steps), "intermediates")
+}
+
+// BenchmarkE4aScratch is the headroom ablation: planning cost and step
+// count at different scratch settings.
+func BenchmarkE4aScratch(b *testing.B) {
+	g, _ := topo.WAN(1000)
+	caps := update.Capacities(g)
+	for _, s := range []float64{0.05, 0.20} {
+		b.Run(fmt.Sprintf("scratch-%.2f", s), func(b *testing.B) {
+			m1 := workload.Gravity(g, 9000, 11)
+			m2 := workload.Perturb(m1, 0.8, 12)
+			old, err := te.Solve(g, m1, te.Config{KPaths: 4, Headroom: s})
+			if err != nil {
+				b.Fatal(err)
+			}
+			target, err := te.Solve(g, m2, te.Config{KPaths: 4, Headroom: s})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var steps int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				plan, err := (update.Planner{MaxIntermediates: 32}).Plan(old, target, caps)
+				if err != nil {
+					b.Fatal(err)
+				}
+				steps = plan.Intermediates()
+			}
+			b.ReportMetric(float64(steps), "intermediates")
+		})
+	}
+}
+
+// --- E5: failure recovery ----------------------------------------------------
+
+// BenchmarkE5Recovery times one link-failure recompile event over a
+// fat-tree intent mesh (down + up per iteration so state is stable).
+func BenchmarkE5Recovery(b *testing.B) {
+	g, edges, err := topo.FatTree(4, 1000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mgr := intent.NewManager(g, intent.InstallerFunc(func([]intent.RuleOp) error { return nil }))
+	id := intent.ID(0)
+	for i := 0; i < len(edges); i++ {
+		for j := i + 1; j < len(edges); j++ {
+			id++
+			m := zof.MatchAll()
+			m.Wildcards &^= zof.WEthSrc | zof.WEthDst
+			m.EthSrc[5], m.EthDst[5] = byte(i), byte(j)
+			if err := mgr.Submit(intent.Intent{ID: id,
+				Src:   intent.Endpoint{Node: edges[i], Port: 100},
+				Dst:   intent.Endpoint{Node: edges[j], Port: 100},
+				Match: m, Priority: 10}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	links := g.Links()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := links[i%len(links)].Key()
+		mgr.OnLinkDown(k)
+		mgr.OnLinkUp(k)
+	}
+}
+
+// --- E6: packet codec ----------------------------------------------------------
+
+func buildBenchFrame(b *testing.B, payload int) []byte {
+	b.Helper()
+	buf := packet.NewBuffer(64)
+	buf.Append(payload)
+	udp := packet.UDP{SrcPort: 5353, DstPort: 53}
+	udp.SerializeToWithChecksum(buf, packet.IPv4Addr{10, 0, 0, 1}, packet.IPv4Addr{10, 0, 0, 2})
+	ip := packet.IPv4{TTL: 64, Protocol: packet.ProtoUDP,
+		Src: packet.IPv4Addr{10, 0, 0, 1}, Dst: packet.IPv4Addr{10, 0, 0, 2}}
+	ip.SerializeTo(buf)
+	eth := packet.Ethernet{EtherType: packet.EtherTypeIPv4}
+	eth.SerializeTo(buf)
+	return append([]byte(nil), buf.Bytes()...)
+}
+
+// BenchmarkE6Codec covers decode, decode+flowkey and serialize at the
+// experiment's frame sizes; allocs/op is the headline (must be 0).
+func BenchmarkE6Codec(b *testing.B) {
+	for _, size := range []int{64, 1500} {
+		payload := size - 42
+		wire := buildBenchFrame(b, payload)
+		b.Run(fmt.Sprintf("decode-%dB", size), func(b *testing.B) {
+			var f packet.Frame
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := packet.Decode(wire, &f); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("flowkey-%dB", size), func(b *testing.B) {
+			var f packet.Frame
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := packet.Decode(wire, &f); err != nil {
+					b.Fatal(err)
+				}
+				k := packet.ExtractFlowKey(&f)
+				_ = k.FastHash()
+			}
+		})
+		b.Run(fmt.Sprintf("serialize-%dB", size), func(b *testing.B) {
+			buf := packet.NewBuffer(64)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				buf.Reset()
+				buf.Append(payload)
+				udp := packet.UDP{SrcPort: 1, DstPort: 2}
+				udp.SerializeTo(buf)
+				ip := packet.IPv4{TTL: 64, Protocol: packet.ProtoUDP}
+				ip.SerializeTo(buf)
+				eth := packet.Ethernet{EtherType: packet.EtherTypeIPv4}
+				eth.SerializeTo(buf)
+			}
+		})
+	}
+}
+
+// --- Bonus: datapath pipeline ------------------------------------------------
+
+// BenchmarkPipelineForwarding measures the software switch's full
+// receive-match-forward path with an installed flow (microflow-cache
+// hot path).
+func BenchmarkPipelineForwarding(b *testing.B) {
+	sw := dataplane.NewSwitch(dataplane.Config{DPID: 1, DropOnMiss: true})
+	sw.AddPort(1, "in", 1000)
+	out := sw.AddPort(2, "out", 1000)
+	out.SetTx(func([]byte) {})
+	var repErr *zof.Error
+	sw.Process(&zof.FlowMod{Command: zof.FlowAdd, Match: zof.MatchAll(),
+		Priority: 1, BufferID: zof.NoBuffer,
+		Actions: []zof.Action{zof.Output(2)}}, 1,
+		func(rep zof.Message, _ uint32) {
+			if e, ok := rep.(*zof.Error); ok {
+				repErr = e
+			}
+		})
+	if repErr != nil {
+		b.Fatal(repErr)
+	}
+	wire := buildBenchFrame(b, 22)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sw.HandleFrame(1, wire)
+	}
+}

@@ -1,0 +1,54 @@
+// Command topogen emits topology descriptions in the platform's JSON
+// schema for consumption by zend and other tools.
+//
+// Usage:
+//
+//	topogen -kind fattree -k 4 -cap 1000 > fattree.json
+//	topogen -kind wan > wan.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/topo"
+)
+
+func main() {
+	kind := flag.String("kind", "linear", "linear|ring|star|tree|fattree|wan")
+	n := flag.Int("n", 4, "node count (linear/ring/star)")
+	depth := flag.Int("depth", 2, "tree depth")
+	fanout := flag.Int("fanout", 2, "tree fanout")
+	k := flag.Int("k", 4, "fat-tree arity (even)")
+	capMbps := flag.Float64("cap", 1000, "link capacity in Mbps")
+	flag.Parse()
+
+	var g *topo.Graph
+	switch *kind {
+	case "linear":
+		g = topo.Linear(*n, *capMbps)
+	case "ring":
+		g = topo.Ring(*n, *capMbps)
+	case "star":
+		g = topo.Star(*n, *capMbps)
+	case "tree":
+		g, _ = topo.Tree(*depth, *fanout, *capMbps)
+	case "fattree":
+		var err error
+		g, _, err = topo.FatTree(*k, *capMbps)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "topogen: %v\n", err)
+			os.Exit(1)
+		}
+	case "wan":
+		g, _ = topo.WAN(*capMbps)
+	default:
+		fmt.Fprintf(os.Stderr, "topogen: unknown kind %q\n", *kind)
+		os.Exit(2)
+	}
+	if err := g.WriteJSON(os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "topogen: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,126 @@
+// Command zbench regenerates the synthetic evaluation suite declared
+// in DESIGN.md: every experiment (E1-E6 plus ablations) prints the
+// table or series its SIGCOMM'13-style counterpart would report.
+//
+// Usage:
+//
+//	zbench -exp all            # everything, full parameters
+//	zbench -exp e3 -quick      # one experiment, reduced parameters
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id: e1,e1a,e2,e3,e3a,e4,e5,e6 or all")
+	quick := flag.Bool("quick", false, "reduced parameters for a fast pass")
+	seed := flag.Int64("seed", 1, "workload seed")
+	flag.Parse()
+
+	run := func(id string) bool {
+		return *exp == "all" || strings.EqualFold(*exp, id)
+	}
+	ran := 0
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "zbench: %v\n", err)
+		os.Exit(1)
+	}
+
+	if run("e1") {
+		ran++
+		cfg := experiments.E1Config{SwitchCounts: []int{1, 4, 16, 64}, Window: 8, Duration: 2 * time.Second}
+		if *quick {
+			cfg.SwitchCounts = []int{1, 4, 16}
+			cfg.Duration = 500 * time.Millisecond
+		}
+		t, err := experiments.E1FlowSetup(cfg)
+		if err != nil {
+			fail(err)
+		}
+		t.Fprint(os.Stdout)
+	}
+	if run("e1a") {
+		ran++
+		d := 2 * time.Second
+		if *quick {
+			d = 500 * time.Millisecond
+		}
+		t, err := experiments.E1aProactiveVsReactive(d)
+		if err != nil {
+			fail(err)
+		}
+		t.Fprint(os.Stdout)
+	}
+	if run("e2") {
+		ran++
+		cfg := experiments.E2Config{Sizes: []int{100, 1000, 10000, 100000}, Measure: 200 * time.Millisecond}
+		if *quick {
+			cfg.Sizes = []int{100, 1000, 10000}
+			cfg.Measure = 50 * time.Millisecond
+		}
+		experiments.E2Lookup(cfg).Fprint(os.Stdout)
+	}
+	if run("e3") {
+		ran++
+		cfg := experiments.E3Config{Seed: *seed}
+		if *quick {
+			cfg.Scales = []float64{0.4, 0.8, 1.2, 2.0}
+		}
+		t, err := experiments.E3Utilization(cfg)
+		if err != nil {
+			fail(err)
+		}
+		t.Fprint(os.Stdout)
+	}
+	if run("e3a") {
+		ran++
+		ks := []int{1, 2, 4, 8}
+		if *quick {
+			ks = []int{1, 4}
+		}
+		t, err := experiments.E3aPathDiversity(ks, *seed)
+		if err != nil {
+			fail(err)
+		}
+		t.Fprint(os.Stdout)
+	}
+	if run("e4") {
+		ran++
+		cfg := experiments.E4Config{Trials: 10, Seed: *seed}
+		if *quick {
+			cfg.Trials = 3
+		}
+		t, err := experiments.E4Update(cfg)
+		if err != nil {
+			fail(err)
+		}
+		t.Fprint(os.Stdout)
+	}
+	if run("e5") {
+		ran++
+		cfg := experiments.E5Config{Failures: 10, Seed: *seed}
+		if *quick {
+			cfg.Failures = 3
+		}
+		t, err := experiments.E5Recovery(cfg)
+		if err != nil {
+			fail(err)
+		}
+		t.Fprint(os.Stdout)
+	}
+	if run("e6") {
+		ran++
+		experiments.E6Codec().Fprint(os.Stdout)
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "zbench: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,145 @@
+// Command zend is the zen controller daemon: it listens for datapath
+// (zswitch or emulated) connections on the southbound address and runs
+// the selected control applications.
+//
+// Usage:
+//
+//	zend -addr :6653 -apps learning
+//	zend -addr :6653 -apps routing,learning -discovery
+//	zend -addr :6653 -apps learning -topo wan.json -emulate   # self-hosted emulation
+//
+// With -emulate and -topo, zend realizes the topology in-process with
+// emulated switches connected back to itself — a one-command playground.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/controller"
+	"repro/internal/core"
+	"repro/internal/packet"
+	"repro/internal/topo"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:6653", "southbound listen address")
+	appList := flag.String("apps", "learning", "comma-separated: learning,routing,acl,lb,stats")
+	discovery := flag.Bool("discovery", true, "run periodic LLDP topology discovery")
+	topoFile := flag.String("topo", "", "JSON topology (required with -emulate)")
+	emulate := flag.Bool("emulate", false, "also emulate the topology in-process")
+	vip := flag.String("vip", "10.0.0.100", "load balancer VIP (with apps=lb)")
+	httpAddr := flag.String("http", "", "northbound REST listen address (empty = disabled)")
+	flag.Parse()
+
+	var appObjs []controller.App
+	for _, name := range strings.Split(*appList, ",") {
+		switch strings.TrimSpace(name) {
+		case "learning":
+			appObjs = append(appObjs, apps.NewLearningSwitch())
+		case "routing":
+			appObjs = append(appObjs, apps.NewRouting())
+		case "acl":
+			appObjs = append(appObjs, apps.NewACL())
+		case "lb":
+			ip, err := parseIPv4(*vip)
+			if err != nil {
+				log.Fatalf("zend: %v", err)
+			}
+			appObjs = append(appObjs, apps.NewLoadBalancer(ip))
+		case "stats":
+			appObjs = append(appObjs, apps.NewStatsMonitor())
+		case "":
+		default:
+			log.Fatalf("zend: unknown app %q", name)
+		}
+	}
+
+	cfg := controller.Config{
+		Addr:      *addr,
+		Discovery: *discovery,
+		Logf:      log.Printf,
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+
+	serveREST := func(ctl *controller.Controller) {
+		if *httpAddr == "" {
+			return
+		}
+		addr, _, err := ctl.ServeHTTP(*httpAddr)
+		if err != nil {
+			log.Fatalf("zend: %v", err)
+		}
+		log.Printf("zend: northbound REST on http://%s/v1/", addr)
+	}
+
+	if *emulate {
+		if *topoFile == "" {
+			log.Fatal("zend: -emulate requires -topo")
+		}
+		f, err := os.Open(*topoFile)
+		if err != nil {
+			log.Fatalf("zend: %v", err)
+		}
+		g, err := topo.ReadJSON(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("zend: %v", err)
+		}
+		n, err := core.Start(core.Options{
+			Graph:      g,
+			Apps:       appObjs,
+			Controller: cfg,
+		})
+		if err != nil {
+			log.Fatalf("zend: %v", err)
+		}
+		defer n.Stop()
+		log.Printf("zend: emulating %d switches, %d links; southbound %s",
+			g.NumNodes(), g.NumLinks(), n.Controller.Addr())
+		serveREST(n.Controller)
+		if err := n.DiscoverLinks(g.NumLinks(), 10*time.Second); err != nil {
+			log.Printf("zend: discovery incomplete: %v", err)
+		} else {
+			log.Printf("zend: discovered all %d links", g.NumLinks())
+		}
+		<-sig
+		log.Print("zend: shutting down")
+		return
+	}
+
+	ctl, err := controller.New(cfg)
+	if err != nil {
+		log.Fatalf("zend: %v", err)
+	}
+	defer ctl.Close()
+	ctl.Use(appObjs...)
+	serveREST(ctl)
+	log.Printf("zend: controller listening on %s, apps: %s", ctl.Addr(), *appList)
+	<-sig
+	log.Print("zend: shutting down")
+}
+
+func parseIPv4(s string) (packet.IPv4Addr, error) {
+	var a packet.IPv4Addr
+	var b [4]int
+	if _, err := fmt.Sscanf(s, "%d.%d.%d.%d", &b[0], &b[1], &b[2], &b[3]); err != nil {
+		return a, fmt.Errorf("bad IPv4 %q", s)
+	}
+	for i, v := range b {
+		if v < 0 || v > 255 {
+			return a, fmt.Errorf("bad IPv4 %q", s)
+		}
+		a[i] = byte(v)
+	}
+	return a, nil
+}

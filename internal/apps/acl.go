@@ -1,0 +1,101 @@
+package apps
+
+import (
+	"sync"
+
+	"repro/internal/controller"
+	"repro/internal/zof"
+)
+
+// ACL enforces deny rules network-wide: each rule is a match installed
+// at maximum priority with an empty action list (drop) on every switch,
+// present and future.
+type ACL struct {
+	mu       sync.Mutex
+	rules    map[uint64]zof.Match // id -> match
+	next     uint64
+	Priority uint16
+}
+
+// NewACL returns the app.
+func NewACL() *ACL {
+	return &ACL{rules: make(map[uint64]zof.Match), Priority: 60000}
+}
+
+// Name implements controller.App.
+func (a *ACL) Name() string { return "acl" }
+
+// Deny installs a network-wide drop rule, returning its id.
+func (a *ACL) Deny(c *controller.Controller, m zof.Match) uint64 {
+	a.mu.Lock()
+	a.next++
+	id := a.next
+	a.rules[id] = m
+	a.mu.Unlock()
+	for _, sc := range c.Switches() {
+		a.install(sc, m, id)
+	}
+	return id
+}
+
+// Allow removes a previously installed deny rule.
+func (a *ACL) Allow(c *controller.Controller, id uint64) bool {
+	a.mu.Lock()
+	m, ok := a.rules[id]
+	if ok {
+		delete(a.rules, id)
+	}
+	a.mu.Unlock()
+	if !ok {
+		return false
+	}
+	for _, sc := range c.Switches() {
+		_ = sc.InstallFlow(&zof.FlowMod{
+			Command:  zof.FlowDeleteStrict,
+			Match:    m,
+			Priority: a.Priority,
+			BufferID: zof.NoBuffer,
+		})
+	}
+	return true
+}
+
+func (a *ACL) install(sc *controller.SwitchConn, m zof.Match, id uint64) {
+	_ = sc.InstallFlow(&zof.FlowMod{
+		Command:  zof.FlowAdd,
+		Match:    m,
+		Priority: a.Priority,
+		Cookie:   id,
+		BufferID: zof.NoBuffer,
+		// No actions: drop.
+	})
+}
+
+// SwitchUp pushes the rule set to newly arrived switches.
+func (a *ACL) SwitchUp(c *controller.Controller, ev controller.SwitchUp) {
+	sc, ok := c.Switch(ev.DPID)
+	if !ok {
+		return
+	}
+	a.mu.Lock()
+	rules := make(map[uint64]zof.Match, len(a.rules))
+	for id, m := range a.rules {
+		rules[id] = m
+	}
+	a.mu.Unlock()
+	for id, m := range rules {
+		a.install(sc, m, id)
+	}
+}
+
+// SwitchDown implements controller.SwitchHandler.
+func (a *ACL) SwitchDown(c *controller.Controller, ev controller.SwitchDown) {}
+
+// Rules returns the number of active deny rules.
+func (a *ACL) Rules() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.rules)
+}
+
+var _ controller.SwitchHandler = (*ACL)(nil)

@@ -1,0 +1,162 @@
+package apps
+
+import (
+	"sync"
+
+	"repro/internal/controller"
+	"repro/internal/packet"
+	"repro/internal/topo"
+	"repro/internal/zof"
+)
+
+// ECMPRouting is the multipath sibling of Routing: where several
+// equal-cost next hops exist toward a destination, it installs a
+// select group so flows shard across them by flow hash — the fat-tree
+// load-balancing discipline. Single-next-hop segments get plain output
+// rules. Groups are installed over the wire via GroupMod.
+type ECMPRouting struct {
+	mu        sync.Mutex
+	nextGroup uint32
+	// groupFor caches (dpid, dst-mac) -> installed group id, so repeated
+	// flows toward the same host reuse one group per switch.
+	groupFor map[ecmpKey]uint32
+
+	IdleTimeout uint16
+	Priority    uint16
+}
+
+type ecmpKey struct {
+	dpid uint64
+	dst  packet.MAC
+}
+
+// NewECMPRouting returns the app.
+func NewECMPRouting() *ECMPRouting {
+	return &ECMPRouting{
+		nextGroup:   0x0ec0000,
+		groupFor:    make(map[ecmpKey]uint32),
+		IdleTimeout: 300,
+		Priority:    210, // above the plain Routing app
+	}
+}
+
+// Name implements controller.App.
+func (e *ECMPRouting) Name() string { return "ecmp-routing" }
+
+// PacketIn implements controller.PacketInHandler.
+func (e *ECMPRouting) PacketIn(c *controller.Controller, ev controller.PacketInEvent) bool {
+	var f packet.Frame
+	if packet.Decode(ev.Msg.Data, &f) != nil {
+		return false
+	}
+	if f.Eth.Dst.IsBroadcast() || f.Eth.Dst.IsMulticast() {
+		return false
+	}
+	dst, ok := c.NIB().Host(f.Eth.Dst)
+	if !ok {
+		return false
+	}
+	g := c.NIB().Graph()
+	// Install along the shortest path; at every hop with ECMP
+	// diversity, a select group spreads over all equal-cost next hops.
+	path, ok := g.ShortestPath(topo.NodeID(ev.DPID), topo.NodeID(dst.DPID))
+	if !ok {
+		return false
+	}
+	match := zof.MatchAll()
+	match.Wildcards &^= zof.WEthDst
+	match.EthDst = f.Eth.Dst
+
+	for i := len(path.Nodes) - 1; i >= 0; i-- {
+		node := path.Nodes[i]
+		sc, ok := c.Switch(uint64(node))
+		if !ok {
+			continue
+		}
+		var action zof.Action
+		if uint64(node) == dst.DPID {
+			action = zof.Output(dst.Port)
+		} else {
+			hops := g.ECMPNextHops(node, topo.NodeID(dst.DPID))
+			switch len(hops) {
+			case 0:
+				return false
+			case 1:
+				port, ok := g.PortToward(node, hops[0])
+				if !ok {
+					return false
+				}
+				action = zof.Output(port)
+			default:
+				gid, installed := e.ensureGroup(uint64(node), f.Eth.Dst)
+				if !installed {
+					gm := &zof.GroupMod{
+						Command:   zof.GroupAdd,
+						GroupType: zof.GroupTypeSelect,
+						GroupID:   gid,
+					}
+					for _, hop := range hops {
+						port, ok := g.PortToward(node, hop)
+						if !ok {
+							continue
+						}
+						gm.Buckets = append(gm.Buckets, zof.GroupBucket{
+							Weight:  1,
+							Actions: []zof.Action{zof.Output(port)},
+						})
+					}
+					if len(gm.Buckets) == 0 {
+						return false
+					}
+					_ = sc.InstallGroup(gm)
+				}
+				action = zof.Group(gid)
+			}
+		}
+		fm := &zof.FlowMod{
+			Command:     zof.FlowAdd,
+			Match:       match,
+			Priority:    e.Priority,
+			IdleTimeout: e.IdleTimeout,
+			BufferID:    zof.NoBuffer,
+			Actions:     []zof.Action{action},
+		}
+		if uint64(node) == ev.DPID {
+			fm.BufferID = ev.Msg.BufferID
+		}
+		_ = sc.InstallFlow(fm)
+	}
+	return true
+}
+
+// ensureGroup returns the group id for (dpid, dst), allocating a fresh
+// id on first use; installed reports whether it already existed.
+func (e *ECMPRouting) ensureGroup(dpid uint64, dst packet.MAC) (uint32, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	key := ecmpKey{dpid, dst}
+	if gid, ok := e.groupFor[key]; ok {
+		return gid, true
+	}
+	e.nextGroup++
+	e.groupFor[key] = e.nextGroup
+	return e.nextGroup, false
+}
+
+// LinkDown drops all cached groups and flows: paths recompute on the
+// next packet (groups are re-pushed with fresh ids).
+func (e *ECMPRouting) LinkDown(c *controller.Controller, ev controller.LinkDown) {
+	e.mu.Lock()
+	clear(e.groupFor)
+	e.mu.Unlock()
+	for _, sc := range c.Switches() {
+		_ = sc.InstallFlow(&zof.FlowMod{Command: zof.FlowDelete,
+			Match: zof.MatchAll(), BufferID: zof.NoBuffer})
+	}
+}
+
+// LinkUp implements controller.LinkHandler.
+func (e *ECMPRouting) LinkUp(c *controller.Controller, ev controller.LinkUp) {}
+
+var _ controller.PacketInHandler = (*ECMPRouting)(nil)
+var _ controller.LinkHandler = (*ECMPRouting)(nil)

@@ -1,0 +1,138 @@
+package apps
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/controller"
+	"repro/internal/packet"
+	"repro/internal/topo"
+	"repro/internal/zof"
+)
+
+// Routing is the reactive shortest-path L3-ish forwarder: on the first
+// packet of a flow toward a known host it computes the shortest path
+// through the discovered topology and installs MAC-pair flows on every
+// switch along it, then releases the packet. On topology changes it
+// flushes the affected flows so the next packet re-routes.
+type Routing struct {
+	// Flushes counts LinkDown-triggered network-wide flushes (tests).
+	Flushes atomic.Uint64
+	// Debugf, when set, traces install/flush decisions (tests).
+	Debugf func(format string, args ...any)
+
+	mu sync.Mutex
+	// installed tracks which (dpid) hold flows for a MAC pair so that
+	// link failures can surgically flush.
+	installed   map[pairKey][]uint64
+	IdleTimeout uint16
+	Priority    uint16
+}
+
+type pairKey struct {
+	src, dst packet.MAC
+}
+
+// NewRouting returns the app.
+func NewRouting() *Routing {
+	return &Routing{installed: make(map[pairKey][]uint64), IdleTimeout: 300, Priority: 200}
+}
+
+// Name implements controller.App.
+func (r *Routing) Name() string { return "spf-routing" }
+
+// PacketIn implements controller.PacketInHandler.
+func (r *Routing) PacketIn(c *controller.Controller, ev controller.PacketInEvent) bool {
+	var f packet.Frame
+	if packet.Decode(ev.Msg.Data, &f) != nil {
+		return false
+	}
+	// Broadcast/multicast (ARP requests etc.) are not routable; let the
+	// learning/flood app deal with them.
+	if f.Eth.Dst.IsBroadcast() || f.Eth.Dst.IsMulticast() {
+		return false
+	}
+	dst, ok := c.NIB().Host(f.Eth.Dst)
+	if !ok {
+		return false // unknown destination: fall through to flooding
+	}
+	g := c.NIB().Graph()
+	path, ok := g.ShortestPath(topo.NodeID(ev.DPID), topo.NodeID(dst.DPID))
+	if !ok {
+		return false
+	}
+	match := zof.MatchAll()
+	match.Wildcards &^= zof.WEthSrc | zof.WEthDst
+	match.EthSrc = f.Eth.Src
+	match.EthDst = f.Eth.Dst
+
+	key := pairKey{f.Eth.Src, f.Eth.Dst}
+	var holders []uint64
+	if r.Debugf != nil {
+		r.Debugf("routing: install %v->%v via %v (pktin @%d)", f.Eth.Src, f.Eth.Dst, path.Nodes, ev.DPID)
+	}
+
+	// Install hop by hop, destination-first so the path is consistent
+	// by the time the packet is released.
+	for i := len(path.Nodes) - 1; i >= 0; i-- {
+		node := path.Nodes[i]
+		var outPort uint32
+		if i == len(path.Nodes)-1 {
+			outPort = dst.Port // egress to the host
+		} else {
+			p, ok := g.PortToward(node, path.Nodes[i+1])
+			if !ok {
+				return false
+			}
+			outPort = p
+		}
+		sc, ok := c.Switch(uint64(node))
+		if !ok {
+			continue
+		}
+		fm := &zof.FlowMod{
+			Command:     zof.FlowAdd,
+			Match:       match,
+			Priority:    r.Priority,
+			IdleTimeout: r.IdleTimeout,
+			BufferID:    zof.NoBuffer,
+			Actions:     []zof.Action{zof.Output(outPort)},
+		}
+		// Release the buffered packet at the packet-in switch.
+		if uint64(node) == ev.DPID {
+			fm.BufferID = ev.Msg.BufferID
+		}
+		_ = sc.InstallFlow(fm)
+		holders = append(holders, uint64(node))
+	}
+	r.mu.Lock()
+	r.installed[key] = holders
+	r.mu.Unlock()
+	return true
+}
+
+// LinkUp implements controller.LinkHandler.
+func (r *Routing) LinkUp(c *controller.Controller, ev controller.LinkUp) {}
+
+// LinkDown flushes every switch so paths recompute on demand. Flushing
+// network-wide (not just the switches known to hold affected flows)
+// closes the race where an install triggered by an event queued before
+// the failure notification lands on a switch the tracker has not
+// recorded yet.
+func (r *Routing) LinkDown(c *controller.Controller, ev controller.LinkDown) {
+	r.Flushes.Add(1)
+	if r.Debugf != nil {
+		r.Debugf("routing: flush-all on LinkDown %d:%d-%d:%d", ev.SrcDPID, ev.SrcPort, ev.DstDPID, ev.DstPort)
+	}
+	r.mu.Lock()
+	r.installed = make(map[pairKey][]uint64)
+	r.mu.Unlock()
+	for _, sc := range c.Switches() {
+		m := zof.MatchAll() // wildcard delete of everything reactive
+		_ = sc.InstallFlow(&zof.FlowMod{Command: zof.FlowDelete, Match: m,
+			BufferID: zof.NoBuffer})
+	}
+}
+
+var _ controller.PacketInHandler = (*Routing)(nil)
+var _ controller.LinkHandler = (*Routing)(nil)

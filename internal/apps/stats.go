@@ -1,0 +1,90 @@
+package apps
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/controller"
+	"repro/internal/topo"
+	"repro/internal/zof"
+)
+
+// topoNode converts a DPID to its graph node.
+func topoNode(dpid uint64) topo.NodeID { return topo.NodeID(dpid) }
+
+// StatsMonitor polls per-port and per-table statistics from every
+// connected datapath, keeping the latest snapshot and byte-rate
+// estimates — the measurement substrate a TE service consumes.
+type StatsMonitor struct {
+	mu    sync.Mutex
+	ports map[uint64]map[uint32]PortSample
+}
+
+// PortSample is one polled observation with its derived rate.
+type PortSample struct {
+	Stats zof.PortStats
+	When  time.Time
+	TxBps float64 // derived from the previous sample
+	RxBps float64
+}
+
+// NewStatsMonitor returns the app.
+func NewStatsMonitor() *StatsMonitor {
+	return &StatsMonitor{ports: make(map[uint64]map[uint32]PortSample)}
+}
+
+// Name implements controller.App.
+func (s *StatsMonitor) Name() string { return "stats-monitor" }
+
+// CollectOnce polls every switch synchronously and updates samples.
+func (s *StatsMonitor) CollectOnce(c *controller.Controller) error {
+	now := time.Now()
+	for _, sc := range c.Switches() {
+		rep, err := sc.Stats(&zof.StatsRequest{Kind: zof.StatsPort, PortNo: zof.PortNone}, statsDeadline)
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		byPort := s.ports[sc.DPID()]
+		if byPort == nil {
+			byPort = make(map[uint32]PortSample)
+			s.ports[sc.DPID()] = byPort
+		}
+		for _, ps := range rep.Ports {
+			sample := PortSample{Stats: ps, When: now}
+			if prev, ok := byPort[ps.PortNo]; ok {
+				dt := now.Sub(prev.When).Seconds()
+				if dt > 0 {
+					sample.TxBps = float64(ps.TxBytes-prev.Stats.TxBytes) * 8 / dt
+					sample.RxBps = float64(ps.RxBytes-prev.Stats.RxBytes) * 8 / dt
+				}
+			}
+			byPort[ps.PortNo] = sample
+		}
+		s.mu.Unlock()
+	}
+	return nil
+}
+
+// Port returns the latest sample for (dpid, port).
+func (s *StatsMonitor) Port(dpid uint64, port uint32) (PortSample, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sample, ok := s.ports[dpid][port]
+	return sample, ok
+}
+
+// TotalTxBytes sums transmitted bytes across the network (tests).
+func (s *StatsMonitor) TotalTxBytes() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var total uint64
+	for _, byPort := range s.ports {
+		for _, sample := range byPort {
+			total += sample.Stats.TxBytes
+		}
+	}
+	return total
+}
+
+var _ controller.App = (*StatsMonitor)(nil)

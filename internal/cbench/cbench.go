@@ -1,0 +1,194 @@
+// Package cbench is a controller load generator in the mold of the
+// classic cbench tool the Maple evaluation used: it emulates N minimal
+// switches over real zof/TCP sessions, fires packet-ins at the
+// controller, and measures response throughput and latency. Unlike the
+// full dataplane it skips the pipeline entirely — the controller is
+// the system under test.
+package cbench
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/packet"
+	"repro/internal/workload"
+	"repro/internal/zof"
+)
+
+// Config shapes a run.
+type Config struct {
+	// Addr is the controller's southbound address.
+	Addr string
+	// Switches is the number of emulated datapaths.
+	Switches int
+	// Window is the number of outstanding packet-ins per switch
+	// (1 = latency mode, larger = throughput mode).
+	Window int
+	// Duration bounds the run.
+	Duration time.Duration
+	// Hosts is the emulated host population per switch.
+	Hosts int
+	// FirstDPID numbers the emulated switches (default 1000).
+	FirstDPID uint64
+}
+
+// Result aggregates a run.
+type Result struct {
+	Responses uint64
+	Duration  time.Duration
+	Latency   *metrics.Histogram
+}
+
+// PerSecond returns responses/second.
+func (r Result) PerSecond() float64 {
+	if r.Duration <= 0 {
+		return 0
+	}
+	return float64(r.Responses) / r.Duration.Seconds()
+}
+
+// Run drives the controller at addr.
+func Run(cfg Config) (Result, error) {
+	if cfg.Switches <= 0 {
+		cfg.Switches = 1
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 1
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = time.Second
+	}
+	if cfg.Hosts <= 0 {
+		cfg.Hosts = 64
+	}
+	if cfg.FirstDPID == 0 {
+		cfg.FirstDPID = 1000
+	}
+	res := Result{Latency: metrics.NewHistogram()}
+	var responses atomic.Uint64
+
+	var wg sync.WaitGroup
+	errs := make(chan error, cfg.Switches)
+	stop := time.Now().Add(cfg.Duration)
+	start := time.Now()
+	for i := 0; i < cfg.Switches; i++ {
+		wg.Add(1)
+		go func(dpid uint64, seed int64) {
+			defer wg.Done()
+			if err := runSwitch(cfg, dpid, seed, stop, &responses, res.Latency); err != nil {
+				errs <- err
+			}
+		}(cfg.FirstDPID+uint64(i), int64(i)*7919+1)
+	}
+	wg.Wait()
+	res.Duration = time.Since(start)
+	res.Responses = responses.Load()
+	select {
+	case err := <-errs:
+		return res, err
+	default:
+	}
+	return res, nil
+}
+
+// fakeSwitch state for one emulated datapath session.
+func runSwitch(cfg Config, dpid uint64, seed int64, stop time.Time,
+	responses *atomic.Uint64, lat *metrics.Histogram) error {
+
+	raw, err := net.Dial("tcp", cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("cbench dial: %w", err)
+	}
+	conn := zof.NewConn(raw)
+	defer conn.Close()
+	if err := conn.Handshake(); err != nil {
+		return fmt.Errorf("cbench handshake: %w", err)
+	}
+
+	// Answer the features request.
+	fr := &zof.FeaturesReply{DPID: dpid, NumTables: 1,
+		Capabilities: zof.CapFlowStats}
+	for p := uint32(1); p <= 4; p++ {
+		fr.Ports = append(fr.Ports, zof.PortInfo{
+			No: p, HWAddr: packet.MACFromUint64(dpid<<8 | uint64(p)),
+			Name: fmt.Sprintf("p%d", p), SpeedMbps: 10000,
+		})
+	}
+	for {
+		msg, h, err := conn.Receive()
+		if err != nil {
+			return err
+		}
+		if _, ok := msg.(*zof.FeaturesRequest); ok {
+			if err := conn.SendXID(fr, h.XID); err != nil {
+				return err
+			}
+			break
+		}
+	}
+
+	gen := workload.NewFlowGen(cfg.Hosts, 1.2, seed)
+	buf := packet.NewBuffer(256)
+	inflight := map[uint32]time.Time{} // bufferID -> send time
+	nextBuf := uint32(1)
+
+	send := func() error {
+		spec := gen.Next()
+		frame := spec.Frame(buf, 32)
+		id := nextBuf
+		nextBuf++
+		pi := &zof.PacketIn{
+			BufferID: id,
+			TotalLen: uint16(len(frame)),
+			InPort:   uint32(1 + id%4),
+			Reason:   zof.ReasonNoMatch,
+			Data:     frame,
+		}
+		inflight[id] = time.Now()
+		_, err := conn.Send(pi)
+		return err
+	}
+
+	// Prime the window.
+	for i := 0; i < cfg.Window; i++ {
+		if err := send(); err != nil {
+			return err
+		}
+	}
+	deadline := stop.Add(500 * time.Millisecond)
+	_ = raw.SetReadDeadline(deadline)
+	for time.Now().Before(stop) {
+		msg, h, err := conn.Receive()
+		if err != nil {
+			if ne, ok := err.(net.Error); ok && ne.Timeout() {
+				return nil // controller saturated past the deadline
+			}
+			return err
+		}
+		var bufID uint32 = zof.NoBuffer
+		switch m := msg.(type) {
+		case *zof.FlowMod:
+			bufID = m.BufferID
+		case *zof.PacketOut:
+			bufID = m.BufferID
+		case *zof.EchoRequest:
+			_ = conn.SendXID(&zof.EchoReply{Data: m.Data}, h.XID)
+			continue
+		default:
+			continue
+		}
+		if t0, ok := inflight[bufID]; ok {
+			delete(inflight, bufID)
+			lat.Observe(time.Since(t0))
+			responses.Add(1)
+			if err := send(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

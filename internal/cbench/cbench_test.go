@@ -1,0 +1,65 @@
+package cbench
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/controller"
+)
+
+func TestRunAgainstLearningController(t *testing.T) {
+	ctl, err := controller.New(controller.Config{EventQueue: 1 << 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctl.Close()
+	ctl.Use(apps.NewLearningSwitch())
+
+	res, err := Run(Config{
+		Addr:     ctl.Addr(),
+		Switches: 4,
+		Window:   4,
+		Duration: 300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Responses == 0 {
+		t.Fatal("no responses measured")
+	}
+	if res.PerSecond() <= 0 {
+		t.Fatalf("rate = %v", res.PerSecond())
+	}
+	if res.Latency.Count() != res.Responses {
+		t.Errorf("latency samples %d != responses %d", res.Latency.Count(), res.Responses)
+	}
+	if res.Latency.Quantile(0.99) > 2*time.Second {
+		t.Errorf("implausible p99 = %v", res.Latency.Quantile(0.99))
+	}
+	t.Logf("cbench: %.0f responses/s, %v", res.PerSecond(), res.Latency)
+}
+
+func TestRunDialFailure(t *testing.T) {
+	_, err := Run(Config{Addr: "127.0.0.1:1", Switches: 1, Duration: 100 * time.Millisecond})
+	if err == nil {
+		t.Fatal("expected dial error")
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	ctl, err := controller.New(controller.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ctl.Close()
+	ctl.Use(apps.NewLearningSwitch())
+	// Zero values for everything but Addr: defaults must kick in.
+	res, err := Run(Config{Addr: ctl.Addr(), Duration: 150 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Responses == 0 {
+		t.Fatal("no responses with default config")
+	}
+}

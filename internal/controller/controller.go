@@ -1,0 +1,357 @@
+package controller
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/packet"
+	"repro/internal/zof"
+)
+
+// Config tunes a Controller.
+type Config struct {
+	// Addr is the southbound listen address, e.g. "127.0.0.1:0".
+	Addr string
+	// HandshakeTimeout bounds the per-connection handshake.
+	HandshakeTimeout time.Duration
+	// EventQueue is the dispatcher's buffer; 0 means 4096.
+	EventQueue int
+	// Discovery enables periodic LLDP topology probing.
+	Discovery bool
+	// DiscoveryInterval is the probing period (default 500ms).
+	DiscoveryInterval time.Duration
+	// Logf receives diagnostics; nil silences them.
+	Logf func(format string, args ...any)
+}
+
+// Controller is the zen control plane.
+type Controller struct {
+	cfg  Config
+	ln   net.Listener
+	nib  *NIB
+	disc *discovery
+
+	mu       sync.Mutex
+	switches map[uint64]*SwitchConn
+	apps     []App
+	closed   bool
+
+	events chan Event
+	quit   chan struct{}
+	loopWG sync.WaitGroup
+	connWG sync.WaitGroup
+}
+
+// New starts a controller listening on cfg.Addr.
+func New(cfg Config) (*Controller, error) {
+	if cfg.Addr == "" {
+		cfg.Addr = "127.0.0.1:0"
+	}
+	if cfg.EventQueue <= 0 {
+		cfg.EventQueue = 4096
+	}
+	if cfg.HandshakeTimeout <= 0 {
+		cfg.HandshakeTimeout = 5 * time.Second
+	}
+	if cfg.DiscoveryInterval <= 0 {
+		cfg.DiscoveryInterval = 500 * time.Millisecond
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("controller listen: %w", err)
+	}
+	c := &Controller{
+		cfg:      cfg,
+		ln:       ln,
+		nib:      NewNIB(),
+		switches: make(map[uint64]*SwitchConn),
+		events:   make(chan Event, cfg.EventQueue),
+		quit:     make(chan struct{}),
+	}
+	c.disc = newDiscovery(c)
+	c.loopWG.Add(2)
+	go c.acceptLoop()
+	go c.eventLoop()
+	if cfg.Discovery {
+		c.disc.start(cfg.DiscoveryInterval)
+	}
+	return c, nil
+}
+
+// Addr returns the actual southbound address (useful with ":0").
+func (c *Controller) Addr() string { return c.ln.Addr().String() }
+
+// NIB exposes the network information base.
+func (c *Controller) NIB() *NIB { return c.nib }
+
+// Use registers apps, in dispatch order. Call before switches connect
+// for deterministic behavior; registration is safe at any time.
+func (c *Controller) Use(apps ...App) {
+	c.mu.Lock()
+	c.apps = append(c.apps, apps...)
+	c.mu.Unlock()
+}
+
+// Switch returns the live connection for dpid.
+func (c *Controller) Switch(dpid uint64) (*SwitchConn, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s, ok := c.switches[dpid]
+	return s, ok
+}
+
+// Switches snapshots the live connections.
+func (c *Controller) Switches() []*SwitchConn {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*SwitchConn, 0, len(c.switches))
+	for _, s := range c.switches {
+		out = append(out, s)
+	}
+	return out
+}
+
+// Close stops the controller and disconnects every datapath.
+func (c *Controller) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	conns := make([]*SwitchConn, 0, len(c.switches))
+	for _, s := range c.switches {
+		conns = append(conns, s)
+	}
+	c.mu.Unlock()
+
+	c.disc.stop()
+	err := c.ln.Close()
+	for _, s := range conns {
+		s.close()
+	}
+	c.connWG.Wait()
+	// The events channel is never closed (the dispatcher itself posts
+	// follow-up events); quit unblocks the loop instead.
+	close(c.quit)
+	c.loopWG.Wait()
+	return err
+}
+
+func (c *Controller) acceptLoop() {
+	defer c.loopWG.Done()
+	for {
+		raw, err := c.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		c.connWG.Add(1)
+		go c.serve(raw)
+	}
+}
+
+func (c *Controller) serve(raw net.Conn) {
+	defer c.connWG.Done()
+	conn := zof.NewConn(raw)
+	sc, err := handshake(conn, c.cfg.HandshakeTimeout)
+	if err != nil {
+		c.cfg.Logf("handshake with %v failed: %v", raw.RemoteAddr(), err)
+		conn.Close()
+		return
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		sc.close()
+		return
+	}
+	if old, dup := c.switches[sc.dpid]; dup {
+		old.close() // newest connection wins, like OVS reconnects
+	}
+	c.switches[sc.dpid] = sc
+	c.mu.Unlock()
+
+	c.nib.addSwitch(sc.features)
+	c.post(SwitchUp{DPID: sc.dpid, Features: sc.features})
+
+	for {
+		msg, h, err := sc.conn.Receive()
+		if err != nil {
+			break
+		}
+		switch m := msg.(type) {
+		case *zof.PacketIn:
+			c.post(PacketInEvent{DPID: sc.dpid, Msg: *m})
+		case *zof.FlowRemoved:
+			c.post(FlowRemovedEvent{DPID: sc.dpid, Msg: *m})
+		case *zof.PortStatus:
+			c.nib.setPort(sc.dpid, m.Port)
+			c.post(PortStatusEvent{DPID: sc.dpid, Msg: *m})
+		case *zof.EchoRequest:
+			_ = sc.conn.SendXID(&zof.EchoReply{Data: m.Data}, h.XID)
+		case *zof.Hello:
+			// ignore
+		default:
+			if !sc.resolve(h.XID, msg) {
+				c.cfg.Logf("unsolicited %v from %#x", msg.Type(), sc.dpid)
+			}
+		}
+	}
+
+	sc.close()
+	c.mu.Lock()
+	if c.switches[sc.dpid] == sc {
+		delete(c.switches, sc.dpid)
+	}
+	stillClosed := c.closed
+	c.mu.Unlock()
+	c.nib.removeSwitch(sc.dpid)
+	if !stillClosed {
+		c.post(SwitchDown{DPID: sc.dpid})
+	}
+}
+
+// post enqueues an event, dropping (with a log line) if the dispatcher
+// is saturated — backpressure must not deadlock connection readers.
+// Posts racing shutdown are silently discarded.
+func (c *Controller) post(ev Event) {
+	select {
+	case <-c.quit:
+		return
+	default:
+	}
+	select {
+	case c.events <- ev:
+	default:
+		c.cfg.Logf("event queue full; dropping %T", ev)
+	}
+}
+
+func (c *Controller) eventLoop() {
+	defer c.loopWG.Done()
+	for {
+		select {
+		case <-c.quit:
+			return
+		case ev := <-c.events:
+			c.dispatch(ev)
+		}
+	}
+}
+
+func (c *Controller) dispatch(ev Event) {
+	defer func() {
+		if r := recover(); r != nil {
+			log.Printf("controller: app panic on %T: %v", ev, r)
+		}
+	}()
+	c.mu.Lock()
+	apps := append([]App(nil), c.apps...)
+	c.mu.Unlock()
+
+	// Built-in pre-processing: discovery consumes LLDP; host learning
+	// runs before apps so they can query the NIB.
+	if pi, ok := ev.(PacketInEvent); ok {
+		if c.disc.handlePacketIn(pi) {
+			return
+		}
+		c.learnFromPacketIn(pi)
+	}
+	if ps, ok := ev.(PortStatusEvent); ok {
+		c.disc.handlePortStatus(ps)
+	}
+
+	for _, app := range apps {
+		switch e := ev.(type) {
+		case SwitchUp:
+			if h, ok := app.(SwitchHandler); ok {
+				h.SwitchUp(c, e)
+			}
+		case SwitchDown:
+			if h, ok := app.(SwitchHandler); ok {
+				h.SwitchDown(c, e)
+			}
+		case PacketInEvent:
+			if h, ok := app.(PacketInHandler); ok {
+				if h.PacketIn(c, e) {
+					return
+				}
+			}
+		case FlowRemovedEvent:
+			if h, ok := app.(FlowRemovedHandler); ok {
+				h.FlowRemoved(c, e)
+			}
+		case PortStatusEvent:
+			if h, ok := app.(PortStatusHandler); ok {
+				h.PortStatus(c, e)
+			}
+		case LinkUp:
+			if h, ok := app.(LinkHandler); ok {
+				h.LinkUp(c, e)
+			}
+		case LinkDown:
+			if h, ok := app.(LinkHandler); ok {
+				h.LinkDown(c, e)
+			}
+		case HostLearned:
+			if h, ok := app.(HostHandler); ok {
+				h.HostLearned(c, e)
+			}
+		}
+	}
+}
+
+// learnFromPacketIn updates host locations from data-plane evidence.
+func (c *Controller) learnFromPacketIn(pi PacketInEvent) {
+	var f packet.Frame
+	if packet.Decode(pi.Msg.Data, &f) != nil {
+		return
+	}
+	var ip packet.IPv4Addr
+	switch {
+	case f.Has(packet.LayerARP):
+		ip = f.ARP.SenderIP
+	case f.Has(packet.LayerIPv4):
+		ip = f.IPv4.Src
+	}
+	if c.nib.learnHost(f.Eth.Src, ip, pi.DPID, pi.Msg.InPort) {
+		c.post(HostLearned{MAC: f.Eth.Src, IP: ip, DPID: pi.DPID, Port: pi.Msg.InPort})
+	}
+}
+
+// Barrier synchronizes with every connected datapath.
+func (c *Controller) Barrier(timeout time.Duration) error {
+	for _, s := range c.Switches() {
+		if err := s.Barrier(timeout); err != nil {
+			return fmt.Errorf("barrier to %#x: %w", s.dpid, err)
+		}
+	}
+	return nil
+}
+
+// WaitForSwitches blocks until n datapaths are connected or the timeout
+// elapses.
+func (c *Controller) WaitForSwitches(n int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		c.mu.Lock()
+		got := len(c.switches)
+		c.mu.Unlock()
+		if got >= n {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("only %d of %d switches connected", got, n)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// InjectEvent posts a synthetic event (tests and tooling).
+func (c *Controller) InjectEvent(ev Event) { c.post(ev) }

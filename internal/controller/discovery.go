@@ -1,0 +1,178 @@
+package controller
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/packet"
+	"repro/internal/zof"
+)
+
+// discovery implements LLDP-based link discovery: the controller
+// packet-outs an LLDP frame on every switch port; when it arrives as a
+// packet-in on a neighboring switch, the (src, dst) pair names a live
+// directed link. Links not re-confirmed within maxAge rounds are
+// declared down.
+type discovery struct {
+	c *Controller
+
+	mu    sync.Mutex
+	seen  map[linkID]time.Time
+	stopC chan struct{}
+	wg    sync.WaitGroup
+	on    bool
+}
+
+type linkID struct {
+	srcDPID uint64
+	srcPort uint32
+	dstDPID uint64
+	dstPort uint32
+}
+
+// canonical orders the ID so both directions coalesce.
+func (l linkID) canonical() linkID {
+	if l.srcDPID < l.dstDPID || (l.srcDPID == l.dstDPID && l.srcPort <= l.dstPort) {
+		return l
+	}
+	return linkID{l.dstDPID, l.dstPort, l.srcDPID, l.srcPort}
+}
+
+func newDiscovery(c *Controller) *discovery {
+	return &discovery{c: c, seen: make(map[linkID]time.Time)}
+}
+
+func (d *discovery) start(interval time.Duration) {
+	d.mu.Lock()
+	if d.on {
+		d.mu.Unlock()
+		return
+	}
+	d.on = true
+	d.stopC = make(chan struct{})
+	d.mu.Unlock()
+	d.wg.Add(1)
+	go func() {
+		defer d.wg.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-d.stopC:
+				return
+			case <-t.C:
+				d.Probe()
+				d.expire(3 * interval)
+			}
+		}
+	}()
+}
+
+func (d *discovery) stop() {
+	d.mu.Lock()
+	if !d.on {
+		d.mu.Unlock()
+		return
+	}
+	d.on = false
+	close(d.stopC)
+	d.mu.Unlock()
+	d.wg.Wait()
+}
+
+// Probe sends one LLDP frame out every port of every switch. Exported
+// through the controller for tests and on-demand discovery.
+func (d *discovery) Probe() {
+	for _, sc := range d.c.Switches() {
+		for _, p := range d.c.nib.Ports(sc.dpid) {
+			if !p.Up() {
+				continue
+			}
+			data := buildLLDP(sc.dpid, p.No)
+			_ = sc.PacketOut(&zof.PacketOut{
+				BufferID: zof.NoBuffer,
+				Actions:  []zof.Action{zof.Output(p.No)},
+				Data:     data,
+			})
+		}
+	}
+}
+
+// Probe triggers one round of LLDP probing immediately.
+func (c *Controller) Probe() { c.disc.Probe() }
+
+func buildLLDP(dpid uint64, port uint32) []byte {
+	b := packet.NewBuffer(64)
+	l := packet.LLDP{ChassisID: dpid, PortID: port, TTL: 120}
+	l.SerializeTo(b)
+	eth := packet.Ethernet{
+		Dst:       packet.LLDPMulticast,
+		Src:       packet.MACFromUint64(dpid<<16 | uint64(port)),
+		EtherType: packet.EtherTypeLLDP,
+	}
+	eth.SerializeTo(b)
+	return append([]byte(nil), b.Bytes()...)
+}
+
+// handlePacketIn consumes LLDP packet-ins, updating the NIB. Returns
+// true if the event was LLDP (and so must not reach apps).
+func (d *discovery) handlePacketIn(pi PacketInEvent) bool {
+	var f packet.Frame
+	if packet.Decode(pi.Msg.Data, &f) != nil {
+		return false
+	}
+	if !f.Has(packet.LayerLLDP) {
+		return false
+	}
+	id := linkID{f.LLDP.ChassisID, f.LLDP.PortID, pi.DPID, pi.Msg.InPort}.canonical()
+	d.mu.Lock()
+	_, known := d.seen[id]
+	d.seen[id] = time.Now()
+	d.mu.Unlock()
+	if d.c.nib.addLink(id.srcDPID, id.srcPort, id.dstDPID, id.dstPort) || !known {
+		d.c.post(LinkUp{SrcDPID: id.srcDPID, SrcPort: id.srcPort,
+			DstDPID: id.dstDPID, DstPort: id.dstPort})
+	}
+	return true
+}
+
+// handlePortStatus declares links over a downed port lost immediately.
+func (d *discovery) handlePortStatus(ps PortStatusEvent) {
+	if ps.Msg.Port.Up() {
+		return
+	}
+	d.mu.Lock()
+	var lost []linkID
+	for id := range d.seen {
+		if (id.srcDPID == ps.DPID && id.srcPort == ps.Msg.Port.No) ||
+			(id.dstDPID == ps.DPID && id.dstPort == ps.Msg.Port.No) {
+			lost = append(lost, id)
+			delete(d.seen, id)
+		}
+	}
+	d.mu.Unlock()
+	for _, id := range lost {
+		d.c.nib.removeLink(id.srcDPID, id.srcPort, id.dstDPID, id.dstPort)
+		d.c.post(LinkDown{SrcDPID: id.srcDPID, SrcPort: id.srcPort,
+			DstDPID: id.dstDPID, DstPort: id.dstPort})
+	}
+}
+
+// expire ages out links that stopped confirming.
+func (d *discovery) expire(maxAge time.Duration) {
+	cutoff := time.Now().Add(-maxAge)
+	d.mu.Lock()
+	var lost []linkID
+	for id, last := range d.seen {
+		if last.Before(cutoff) {
+			lost = append(lost, id)
+			delete(d.seen, id)
+		}
+	}
+	d.mu.Unlock()
+	for _, id := range lost {
+		d.c.nib.removeLink(id.srcDPID, id.srcPort, id.dstDPID, id.dstPort)
+		d.c.post(LinkDown{SrcDPID: id.srcDPID, SrcPort: id.srcPort,
+			DstDPID: id.dstDPID, DstPort: id.dstPort})
+	}
+}

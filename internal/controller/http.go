@@ -1,0 +1,186 @@
+package controller
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"time"
+
+	"repro/internal/zof"
+)
+
+// The read-only northbound REST API: the JSON views operators and
+// external systems consume. Endpoints:
+//
+//	GET /v1/switches          connected datapaths and their ports
+//	GET /v1/links             discovered inter-switch links
+//	GET /v1/hosts             learned host locations
+//	GET /v1/flows/{dpid}      live flow entries of one datapath
+//	GET /v1/stats/ports/{dpid} port counters of one datapath
+//	GET /v1/health            liveness
+//
+// Mutations stay with the apps; the REST surface is deliberately
+// read-only in this prototype (the keynote's "visibility first").
+
+type switchJSON struct {
+	DPID         uint64     `json:"dpid"`
+	NumTables    uint8      `json:"numTables"`
+	Capabilities uint32     `json:"capabilities"`
+	Ports        []portJSON `json:"ports"`
+}
+
+type portJSON struct {
+	No        uint32 `json:"no"`
+	Name      string `json:"name"`
+	MAC       string `json:"mac"`
+	Up        bool   `json:"up"`
+	SpeedMbps uint32 `json:"speedMbps"`
+}
+
+type linkJSON struct {
+	A     uint64 `json:"a"`
+	APort uint32 `json:"aPort"`
+	B     uint64 `json:"b"`
+	BPort uint32 `json:"bPort"`
+	Down  bool   `json:"down"`
+}
+
+type hostJSON struct {
+	MAC  string `json:"mac"`
+	IP   string `json:"ip,omitempty"`
+	DPID uint64 `json:"dpid"`
+	Port uint32 `json:"port"`
+}
+
+type flowJSON struct {
+	Table       uint8    `json:"table"`
+	Priority    uint16   `json:"priority"`
+	Match       string   `json:"match"`
+	Actions     []string `json:"actions"`
+	Packets     uint64   `json:"packets"`
+	Bytes       uint64   `json:"bytes"`
+	IdleTimeout uint16   `json:"idleTimeoutSec,omitempty"`
+	HardTimeout uint16   `json:"hardTimeoutSec,omitempty"`
+}
+
+// HTTPHandler returns the northbound REST handler; mount it on any
+// http.Server (ServeHTTP starts a server on addr for convenience).
+func (c *Controller) HTTPHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/health", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, map[string]any{"ok": true, "switches": len(c.Switches())})
+	})
+	mux.HandleFunc("GET /v1/switches", func(w http.ResponseWriter, r *http.Request) {
+		var out []switchJSON
+		for _, f := range c.nib.Switches() {
+			sj := switchJSON{DPID: f.DPID, NumTables: f.NumTables, Capabilities: f.Capabilities}
+			for _, p := range c.nib.Ports(f.DPID) {
+				sj.Ports = append(sj.Ports, portJSON{
+					No: p.No, Name: p.Name, MAC: p.HWAddr.String(),
+					Up: p.Up(), SpeedMbps: p.SpeedMbps,
+				})
+			}
+			sort.Slice(sj.Ports, func(i, j int) bool { return sj.Ports[i].No < sj.Ports[j].No })
+			out = append(out, sj)
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].DPID < out[j].DPID })
+		writeJSON(w, out)
+	})
+	mux.HandleFunc("GET /v1/links", func(w http.ResponseWriter, r *http.Request) {
+		g := c.nib.Graph()
+		var out []linkJSON
+		for _, l := range g.Links() {
+			out = append(out, linkJSON{
+				A: uint64(l.A), APort: l.APort,
+				B: uint64(l.B), BPort: l.BPort,
+				Down: l.Down,
+			})
+		}
+		writeJSON(w, out)
+	})
+	mux.HandleFunc("GET /v1/hosts", func(w http.ResponseWriter, r *http.Request) {
+		var out []hostJSON
+		for _, h := range c.nib.Hosts() {
+			hj := hostJSON{MAC: h.MAC.String(), DPID: h.DPID, Port: h.Port}
+			if h.IP != ([4]byte{}) {
+				hj.IP = h.IP.String()
+			}
+			out = append(out, hj)
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].MAC < out[j].MAC })
+		writeJSON(w, out)
+	})
+	mux.HandleFunc("GET /v1/flows/{dpid}", func(w http.ResponseWriter, r *http.Request) {
+		sc, ok := c.switchFromPath(r)
+		if !ok {
+			http.Error(w, "unknown datapath", http.StatusNotFound)
+			return
+		}
+		rep, err := sc.Stats(&zof.StatsRequest{
+			Kind: zof.StatsFlow, TableID: 0xff, Match: zof.MatchAll(),
+		}, 3*time.Second)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		var out []flowJSON
+		for _, fs := range rep.Flows {
+			fj := flowJSON{
+				Table: fs.TableID, Priority: fs.Priority,
+				Match:   fs.Match.String(),
+				Packets: fs.PacketCount, Bytes: fs.ByteCount,
+				IdleTimeout: fs.IdleTimeout, HardTimeout: fs.HardTimeout,
+			}
+			for _, a := range fs.Actions {
+				fj.Actions = append(fj.Actions, a.String())
+			}
+			out = append(out, fj)
+		}
+		writeJSON(w, out)
+	})
+	mux.HandleFunc("GET /v1/stats/ports/{dpid}", func(w http.ResponseWriter, r *http.Request) {
+		sc, ok := c.switchFromPath(r)
+		if !ok {
+			http.Error(w, "unknown datapath", http.StatusNotFound)
+			return
+		}
+		rep, err := sc.Stats(&zof.StatsRequest{
+			Kind: zof.StatsPort, PortNo: zof.PortNone,
+		}, 3*time.Second)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		writeJSON(w, rep.Ports)
+	})
+	return mux
+}
+
+func (c *Controller) switchFromPath(r *http.Request) (*SwitchConn, bool) {
+	var dpid uint64
+	if _, err := fmt.Sscanf(r.PathValue("dpid"), "%d", &dpid); err != nil {
+		return nil, false
+	}
+	return c.Switch(dpid)
+}
+
+// ServeHTTP starts the northbound REST server on addr, returning the
+// bound address and a shutdown function.
+func (c *Controller) ServeHTTP(addr string) (string, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("northbound listen: %w", err)
+	}
+	srv := &http.Server{Handler: c.HTTPHandler()}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), srv.Close, nil
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

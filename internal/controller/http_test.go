@@ -1,0 +1,105 @@
+package controller
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/zof"
+)
+
+func getJSON(t *testing.T, base, path string, out any) int {
+	t.Helper()
+	resp, err := http.Get(base + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK && out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding %s: %v", path, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestNorthboundREST(t *testing.T) {
+	ctl, _, _ := newTestController(t, nil, 2)
+	addr, stop, err := ctl.ServeHTTP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	base := "http://" + addr
+
+	// Health.
+	var health map[string]any
+	if code := getJSON(t, base, "/v1/health", &health); code != 200 {
+		t.Fatalf("health = %d", code)
+	}
+	if health["ok"] != true || health["switches"].(float64) != 2 {
+		t.Fatalf("health = %v", health)
+	}
+
+	// Switches with ports.
+	var switches []switchJSON
+	if code := getJSON(t, base, "/v1/switches", &switches); code != 200 {
+		t.Fatalf("switches = %d", code)
+	}
+	if len(switches) != 2 || switches[0].DPID != 1 || len(switches[0].Ports) != 2 {
+		t.Fatalf("switches = %+v", switches)
+	}
+	if switches[0].Ports[0].MAC == "" || !switches[0].Ports[0].Up {
+		t.Errorf("port json = %+v", switches[0].Ports[0])
+	}
+
+	// Flows: install one, then read it back over REST.
+	sc, _ := ctl.Switch(1)
+	m := zof.MatchAll()
+	m.Wildcards &^= zof.WTPDst
+	m.TPDst = 443
+	if err := sc.InstallFlow(&zof.FlowMod{Command: zof.FlowAdd, Match: m,
+		Priority: 77, IdleTimeout: 60, BufferID: zof.NoBuffer,
+		Actions: []zof.Action{zof.Output(2)}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Barrier(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	var flows []flowJSON
+	if code := getJSON(t, base, "/v1/flows/1", &flows); code != 200 {
+		t.Fatalf("flows = %d", code)
+	}
+	if len(flows) != 1 || flows[0].Priority != 77 || flows[0].Match != "tp_dst=443" {
+		t.Fatalf("flows = %+v", flows)
+	}
+	if len(flows[0].Actions) != 1 || flows[0].Actions[0] != "output:2" {
+		t.Fatalf("actions = %v", flows[0].Actions)
+	}
+
+	// Port stats.
+	var ports []zof.PortStats
+	if code := getJSON(t, base, "/v1/stats/ports/2", &ports); code != 200 {
+		t.Fatalf("port stats = %d", code)
+	}
+	if len(ports) != 2 {
+		t.Fatalf("ports = %+v", ports)
+	}
+
+	// Unknown datapath 404s; garbage dpid 404s.
+	if code := getJSON(t, base, "/v1/flows/99", nil); code != 404 {
+		t.Errorf("missing dpid = %d", code)
+	}
+	if code := getJSON(t, base, "/v1/flows/xyz", nil); code != 404 {
+		t.Errorf("garbage dpid = %d", code)
+	}
+
+	// Links and hosts are empty but well-formed on this unwired pair.
+	if code := getJSON(t, base, "/v1/links", new([]linkJSON)); code != 200 {
+		t.Errorf("links = %d", code)
+	}
+	if code := getJSON(t, base, "/v1/hosts", new([]hostJSON)); code != 200 {
+		t.Errorf("hosts = %d", code)
+	}
+}

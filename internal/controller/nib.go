@@ -1,0 +1,247 @@
+package controller
+
+import (
+	"sync"
+
+	"repro/internal/packet"
+	"repro/internal/topo"
+	"repro/internal/zof"
+)
+
+// HostInfo is a learned host location.
+type HostInfo struct {
+	MAC  packet.MAC
+	IP   packet.IPv4Addr // zero until IP traffic seen
+	DPID uint64
+	Port uint32
+}
+
+// NIB is the network information base: the controller's authoritative,
+// concurrently readable picture of switches, ports, inter-switch links
+// and host locations. Writers are the controller internals; apps read.
+type NIB struct {
+	mu       sync.RWMutex
+	switches map[uint64]zof.FeaturesReply
+	ports    map[uint64]map[uint32]zof.PortInfo
+	graph    *topo.Graph
+	hosts    map[packet.MAC]HostInfo
+	byIP     map[packet.IPv4Addr]packet.MAC
+	// infraPorts is the sticky switch-port classification: once a port
+	// has faced another switch it stays "infrastructure" until its
+	// switch departs, even if the link is currently down or removed.
+	// Without stickiness, a transit frame whose packet-in is dispatched
+	// just after a link removal would mislearn a host location from an
+	// interior port — a real cross-connection ordering race.
+	infraPorts map[uint64]map[uint32]bool
+}
+
+// NewNIB returns an empty NIB.
+func NewNIB() *NIB {
+	return &NIB{
+		switches:   make(map[uint64]zof.FeaturesReply),
+		ports:      make(map[uint64]map[uint32]zof.PortInfo),
+		graph:      topo.New(),
+		hosts:      make(map[packet.MAC]HostInfo),
+		byIP:       make(map[packet.IPv4Addr]packet.MAC),
+		infraPorts: make(map[uint64]map[uint32]bool),
+	}
+}
+
+func (n *NIB) addSwitch(f zof.FeaturesReply) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.switches[f.DPID] = f
+	pm := make(map[uint32]zof.PortInfo, len(f.Ports))
+	for _, p := range f.Ports {
+		pm[p.No] = p
+	}
+	n.ports[f.DPID] = pm
+	n.graph.AddNode(topo.NodeID(f.DPID))
+}
+
+func (n *NIB) removeSwitch(dpid uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.switches, dpid)
+	delete(n.ports, dpid)
+	delete(n.infraPorts, dpid)
+	// Remove incident links from the graph.
+	for _, l := range n.graph.Links() {
+		if l.A == topo.NodeID(dpid) || l.B == topo.NodeID(dpid) {
+			n.graph.RemoveLink(l.Key())
+		}
+	}
+}
+
+func (n *NIB) setPort(dpid uint64, p zof.PortInfo) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	pm, ok := n.ports[dpid]
+	if !ok {
+		pm = make(map[uint32]zof.PortInfo)
+		n.ports[dpid] = pm
+	}
+	pm[p.No] = p
+	// Propagate link-down onto any incident graph link.
+	for _, l := range n.graph.Links() {
+		if (l.A == topo.NodeID(dpid) && l.APort == p.No) ||
+			(l.B == topo.NodeID(dpid) && l.BPort == p.No) {
+			l.Down = !p.Up()
+		}
+	}
+}
+
+func (n *NIB) addLink(a uint64, ap uint32, b uint64, bp uint32) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.markInfraLocked(a, ap)
+	n.markInfraLocked(b, bp)
+	l := topo.Link{A: topo.NodeID(a), B: topo.NodeID(b), APort: ap, BPort: bp, Metric: 1, Capacity: 1000}
+	if existing, ok := n.graph.Link(l.Key()); ok {
+		if existing.Down {
+			existing.Down = false
+			return true
+		}
+		return false
+	}
+	n.graph.AddLink(l)
+	return true
+}
+
+func (n *NIB) removeLink(a uint64, ap uint32, b uint64, bp uint32) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	l := topo.Link{A: topo.NodeID(a), B: topo.NodeID(b), APort: ap, BPort: bp}
+	return n.graph.RemoveLink(l.Key())
+}
+
+// learnHost records a host sighting; returns true if new or moved.
+func (n *NIB) learnHost(mac packet.MAC, ip packet.IPv4Addr, dpid uint64, port uint32) bool {
+	if mac.IsMulticast() || mac.IsBroadcast() {
+		return false
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	// Ignore sightings on inter-switch ports: those are transit frames,
+	// not host attachment points.
+	if n.isSwitchPortLocked(dpid, port) {
+		return false
+	}
+	old, ok := n.hosts[mac]
+	changed := !ok || old.DPID != dpid || old.Port != port
+	info := HostInfo{MAC: mac, IP: ip, DPID: dpid, Port: port}
+	if ip == (packet.IPv4Addr{}) && ok {
+		info.IP = old.IP // keep previously learned IP
+	}
+	if !changed && ok && info.IP == old.IP {
+		return false
+	}
+	n.hosts[mac] = info
+	if info.IP != (packet.IPv4Addr{}) {
+		n.byIP[info.IP] = mac
+	}
+	return changed || (ok && info.IP != old.IP)
+}
+
+func (n *NIB) markInfraLocked(dpid uint64, port uint32) {
+	pm := n.infraPorts[dpid]
+	if pm == nil {
+		pm = make(map[uint32]bool)
+		n.infraPorts[dpid] = pm
+	}
+	pm[port] = true
+}
+
+func (n *NIB) isSwitchPortLocked(dpid uint64, port uint32) bool {
+	return n.infraPorts[dpid][port]
+}
+
+// Switches lists known datapaths.
+func (n *NIB) Switches() []zof.FeaturesReply {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	out := make([]zof.FeaturesReply, 0, len(n.switches))
+	for _, f := range n.switches {
+		out = append(out, f)
+	}
+	return out
+}
+
+// HasSwitch reports whether dpid is connected.
+func (n *NIB) HasSwitch(dpid uint64) bool {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	_, ok := n.switches[dpid]
+	return ok
+}
+
+// Ports returns every known port of a datapath, including ports added
+// after the handshake.
+func (n *NIB) Ports(dpid uint64) []zof.PortInfo {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	pm := n.ports[dpid]
+	out := make([]zof.PortInfo, 0, len(pm))
+	for _, p := range pm {
+		out = append(out, p)
+	}
+	return out
+}
+
+// Port returns the port record.
+func (n *NIB) Port(dpid uint64, no uint32) (zof.PortInfo, bool) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	pm, ok := n.ports[dpid]
+	if !ok {
+		return zof.PortInfo{}, false
+	}
+	p, ok := pm[no]
+	return p, ok
+}
+
+// Graph returns a snapshot copy of the inter-switch topology. Apps may
+// freely mutate the copy (e.g. to simulate failures in planning).
+func (n *NIB) Graph() *topo.Graph {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.graph.Clone()
+}
+
+// Host looks a host up by MAC.
+func (n *NIB) Host(mac packet.MAC) (HostInfo, bool) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	h, ok := n.hosts[mac]
+	return h, ok
+}
+
+// HostByIP looks a host up by IPv4 address.
+func (n *NIB) HostByIP(ip packet.IPv4Addr) (HostInfo, bool) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	mac, ok := n.byIP[ip]
+	if !ok {
+		return HostInfo{}, false
+	}
+	h, ok := n.hosts[mac]
+	return h, ok
+}
+
+// Hosts lists learned hosts.
+func (n *NIB) Hosts() []HostInfo {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	out := make([]HostInfo, 0, len(n.hosts))
+	for _, h := range n.hosts {
+		out = append(out, h)
+	}
+	return out
+}
+
+// IsSwitchPort reports whether (dpid, port) leads to another switch.
+func (n *NIB) IsSwitchPort(dpid uint64, port uint32) bool {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.isSwitchPortLocked(dpid, port)
+}

@@ -1,0 +1,216 @@
+package controller
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/zof"
+)
+
+// SwitchConn is the controller's handle on one connected datapath. All
+// methods are safe for concurrent use.
+type SwitchConn struct {
+	dpid     uint64
+	conn     *zof.Conn
+	features zof.FeaturesReply
+
+	mu      sync.Mutex
+	pending map[uint32]chan zof.Message
+	closed  bool
+}
+
+// DPID returns the datapath id.
+func (s *SwitchConn) DPID() uint64 { return s.dpid }
+
+// Features returns the handshake-time feature reply.
+func (s *SwitchConn) Features() zof.FeaturesReply { return s.features }
+
+// RemoteAddr names the transport peer.
+func (s *SwitchConn) RemoteAddr() net.Addr { return s.conn.RemoteAddr() }
+
+// handshake runs the controller side: Hello exchange then features.
+func handshake(conn *zof.Conn, timeout time.Duration) (*SwitchConn, error) {
+	if timeout > 0 {
+		_ = conn.SetDeadline(time.Now().Add(timeout))
+		defer conn.SetDeadline(time.Time{})
+	}
+	if err := conn.Handshake(); err != nil {
+		return nil, err
+	}
+	xid, err := conn.Send(&zof.FeaturesRequest{})
+	if err != nil {
+		return nil, err
+	}
+	for {
+		msg, h, err := conn.Receive()
+		if err != nil {
+			return nil, err
+		}
+		fr, ok := msg.(*zof.FeaturesReply)
+		if !ok {
+			// Tolerate early asynchronous noise (echo, packet-in) but
+			// nothing else before features.
+			switch msg.(type) {
+			case *zof.EchoRequest:
+				_ = conn.SendXID(&zof.EchoReply{}, h.XID)
+				continue
+			case *zof.PacketIn, *zof.PortStatus:
+				continue
+			}
+			return nil, fmt.Errorf("expected features reply, got %v", msg.Type())
+		}
+		if h.XID != xid {
+			continue
+		}
+		return &SwitchConn{
+			dpid:     fr.DPID,
+			conn:     conn,
+			features: *fr,
+			pending:  make(map[uint32]chan zof.Message),
+		}, nil
+	}
+}
+
+// Send fires a message without awaiting any reply.
+func (s *SwitchConn) Send(msg zof.Message) error {
+	_, err := s.conn.Send(msg)
+	return err
+}
+
+// InstallFlow sends a FlowMod.
+func (s *SwitchConn) InstallFlow(fm *zof.FlowMod) error {
+	return s.Send(fm)
+}
+
+// PacketOut injects a packet.
+func (s *SwitchConn) PacketOut(po *zof.PacketOut) error {
+	return s.Send(po)
+}
+
+// InstallGroup sends a GroupMod.
+func (s *SwitchConn) InstallGroup(gm *zof.GroupMod) error {
+	return s.Send(gm)
+}
+
+// request sends msg and blocks for the reply carrying the same xid.
+func (s *SwitchConn) request(msg zof.Message, timeout time.Duration) (zof.Message, error) {
+	ch := make(chan zof.Message, 1)
+	xid := s.conn.NextXID()
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, zof.ErrConnClosed
+	}
+	s.pending[xid] = ch
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.pending, xid)
+		s.mu.Unlock()
+	}()
+	if err := s.conn.SendXID(msg, xid); err != nil {
+		return nil, err
+	}
+	var timer <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		timer = t.C
+	}
+	select {
+	case rep, ok := <-ch:
+		if !ok {
+			return nil, zof.ErrConnClosed
+		}
+		if e, isErr := rep.(*zof.Error); isErr {
+			return nil, e
+		}
+		return rep, nil
+	case <-timer:
+		return nil, fmt.Errorf("request %v to %#x timed out", msg.Type(), s.dpid)
+	}
+}
+
+// Barrier blocks until the datapath has processed everything sent
+// before it.
+func (s *SwitchConn) Barrier(timeout time.Duration) error {
+	rep, err := s.request(&zof.BarrierRequest{}, timeout)
+	if err != nil {
+		return err
+	}
+	if _, ok := rep.(*zof.BarrierReply); !ok {
+		return zof.ErrTypeMismatch
+	}
+	return nil
+}
+
+// Stats performs a synchronous statistics request.
+func (s *SwitchConn) Stats(req *zof.StatsRequest, timeout time.Duration) (*zof.StatsReply, error) {
+	rep, err := s.request(req, timeout)
+	if err != nil {
+		return nil, err
+	}
+	sr, ok := rep.(*zof.StatsReply)
+	if !ok {
+		return nil, zof.ErrTypeMismatch
+	}
+	return sr, nil
+}
+
+// Echo round-trips a keepalive.
+func (s *SwitchConn) Echo(timeout time.Duration) error {
+	rep, err := s.request(&zof.EchoRequest{Data: []byte("zen")}, timeout)
+	if err != nil {
+		return err
+	}
+	if _, ok := rep.(*zof.EchoReply); !ok {
+		return zof.ErrTypeMismatch
+	}
+	return nil
+}
+
+// SetRole claims a controller role on this connection.
+func (s *SwitchConn) SetRole(role uint32, gen uint64, timeout time.Duration) (*zof.RoleReply, error) {
+	rep, err := s.request(&zof.RoleRequest{Role: role, GenerationID: gen}, timeout)
+	if err != nil {
+		return nil, err
+	}
+	rr, ok := rep.(*zof.RoleReply)
+	if !ok {
+		return nil, zof.ErrTypeMismatch
+	}
+	return rr, nil
+}
+
+// resolve hands an incoming reply to a blocked request, if any.
+func (s *SwitchConn) resolve(xid uint32, msg zof.Message) bool {
+	s.mu.Lock()
+	ch, ok := s.pending[xid]
+	if ok {
+		delete(s.pending, xid)
+	}
+	s.mu.Unlock()
+	if ok {
+		ch <- msg
+	}
+	return ok
+}
+
+// close tears the connection down and fails all pending requests.
+func (s *SwitchConn) close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	pend := s.pending
+	s.pending = make(map[uint32]chan zof.Message)
+	s.mu.Unlock()
+	for _, ch := range pend {
+		close(ch)
+	}
+	s.conn.Close()
+}

@@ -1,0 +1,104 @@
+// Package core ties the zen platform together: it stands up a
+// controller, realizes a topology in the emulator, connects every
+// software switch to the controller over real TCP zof sessions, and
+// hands the embedder a single handle. This is the public entry point
+// the examples and experiments build on.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/controller"
+	"repro/internal/dataplane"
+	"repro/internal/netem"
+	"repro/internal/packet"
+	"repro/internal/topo"
+)
+
+// Options configures Start.
+type Options struct {
+	// Graph is the topology to realize. Required.
+	Graph *topo.Graph
+	// Apps are registered with the controller before switches connect.
+	Apps []controller.App
+	// Controller tunes the control plane; Addr defaults to loopback.
+	Controller controller.Config
+	// Emu tunes the emulation (link delay/loss, switch config).
+	Emu netem.Config
+	// ConnectTimeout bounds each switch's session setup (default 5s).
+	ConnectTimeout time.Duration
+}
+
+// Network is a running zen deployment: control plane + emulated data
+// plane, fully connected.
+type Network struct {
+	Controller *controller.Controller
+	Emu        *netem.Network
+	datapaths  []*dataplane.Datapath
+}
+
+// Start brings the whole platform up and blocks until every switch has
+// completed its handshake.
+func Start(opts Options) (*Network, error) {
+	if opts.Graph == nil {
+		return nil, fmt.Errorf("core: Options.Graph is required")
+	}
+	if opts.ConnectTimeout <= 0 {
+		opts.ConnectTimeout = 5 * time.Second
+	}
+	ctl, err := controller.New(opts.Controller)
+	if err != nil {
+		return nil, err
+	}
+	ctl.Use(opts.Apps...)
+
+	emu := netem.Build(opts.Graph, opts.Emu)
+	n := &Network{Controller: ctl, Emu: emu}
+
+	for _, node := range opts.Graph.Nodes() {
+		sw := emu.Switches[node]
+		dp, err := dataplane.Connect(sw, ctl.Addr(), opts.ConnectTimeout)
+		if err != nil {
+			n.Stop()
+			return nil, fmt.Errorf("connecting switch %d: %w", node, err)
+		}
+		n.datapaths = append(n.datapaths, dp)
+	}
+	if err := ctl.WaitForSwitches(opts.Graph.NumNodes(), opts.ConnectTimeout); err != nil {
+		n.Stop()
+		return nil, err
+	}
+	return n, nil
+}
+
+// AddHost attaches an emulated host to a switch.
+func (n *Network) AddHost(name string, node topo.NodeID, ip packet.IPv4Addr) (*netem.Host, error) {
+	return n.Emu.AttachHost(name, node, ip, netem.PipeConfig{})
+}
+
+// DiscoverLinks drives LLDP probing until the NIB holds want links or
+// the timeout passes.
+func (n *Network) DiscoverLinks(want int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		n.Controller.Probe()
+		time.Sleep(10 * time.Millisecond)
+		if n.Controller.NIB().Graph().NumLinks() >= want {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("discovered %d links, want %d",
+				n.Controller.NIB().Graph().NumLinks(), want)
+		}
+	}
+}
+
+// Stop tears everything down.
+func (n *Network) Stop() {
+	for _, dp := range n.datapaths {
+		dp.Close()
+	}
+	n.Controller.Close()
+	n.Emu.Stop()
+}

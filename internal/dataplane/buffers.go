@@ -1,0 +1,51 @@
+package dataplane
+
+import "repro/internal/zof"
+
+// packetBuffers holds packets parked at the switch awaiting a
+// controller verdict, OpenFlow buffer_id style. A fixed ring: old
+// buffers are overwritten, which is exactly the lossy contract real
+// switches provide.
+type packetBuffers struct {
+	slots  []bufferedPacket
+	nextID uint32
+}
+
+type bufferedPacket struct {
+	id     uint32
+	inPort uint32
+	data   []byte
+	valid  bool
+}
+
+func newPacketBuffers(n int) *packetBuffers {
+	if n <= 0 {
+		n = 256
+	}
+	return &packetBuffers{slots: make([]bufferedPacket, n)}
+}
+
+// put parks a packet and returns its buffer id (never NoBuffer).
+func (b *packetBuffers) put(inPort uint32, data []byte) uint32 {
+	id := b.nextID
+	b.nextID++
+	if b.nextID == zof.NoBuffer {
+		b.nextID = 0
+	}
+	slot := &b.slots[id%uint32(len(b.slots))]
+	slot.id = id
+	slot.inPort = inPort
+	slot.data = append(slot.data[:0], data...)
+	slot.valid = true
+	return id
+}
+
+// take removes and returns the packet parked under id.
+func (b *packetBuffers) take(id uint32) (inPort uint32, data []byte, ok bool) {
+	slot := &b.slots[id%uint32(len(b.slots))]
+	if !slot.valid || slot.id != id {
+		return 0, nil, false
+	}
+	slot.valid = false
+	return slot.inPort, slot.data, true
+}

@@ -1,0 +1,131 @@
+package dataplane
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/zof"
+)
+
+// Datapath runs the control-channel session of a Switch: it dials the
+// controller, performs the Hello and features handshake from the switch
+// side, pumps controller-to-switch messages into Switch.Process, and
+// forwards the switch's asynchronous messages up the channel.
+type Datapath struct {
+	sw     *Switch
+	conn   *zof.Conn
+	sinkID int
+
+	mu     sync.Mutex
+	role   uint32
+	gen    uint64
+	closed bool
+	done   chan struct{}
+}
+
+// Connect dials the controller at addr, completes the handshake and
+// starts the session pump. It returns once the switch is operational.
+func Connect(sw *Switch, addr string, timeout time.Duration) (*Datapath, error) {
+	raw, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("dialing controller: %w", err)
+	}
+	return Attach(sw, raw)
+}
+
+// Attach runs the session over an established transport (used by tests
+// and by in-process wiring).
+func Attach(sw *Switch, raw net.Conn) (*Datapath, error) {
+	conn := zof.NewConn(raw)
+	if err := conn.Handshake(); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("zof handshake: %w", err)
+	}
+	dp := &Datapath{sw: sw, conn: conn, role: zof.RoleEqual, done: make(chan struct{})}
+	dp.sinkID = sw.AddControllerSink(dp.sendAsync)
+	go dp.readLoop()
+	return dp, nil
+}
+
+// Close tears the session down.
+func (d *Datapath) Close() error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil
+	}
+	d.closed = true
+	d.mu.Unlock()
+	d.sw.RemoveControllerSink(d.sinkID)
+	return d.conn.Close()
+}
+
+// Done is closed when the session ends for any reason.
+func (d *Datapath) Done() <-chan struct{} { return d.done }
+
+// sendAsync carries switch-originated messages; a slave controller
+// connection would filter here (single-controller deployments use
+// Equal/Master).
+func (d *Datapath) sendAsync(msg zof.Message) {
+	d.mu.Lock()
+	slave := d.role == zof.RoleSlave
+	d.mu.Unlock()
+	if slave {
+		return // slaves get no async messages
+	}
+	_, _ = d.conn.Send(msg)
+}
+
+func (d *Datapath) readLoop() {
+	defer close(d.done)
+	defer d.Close()
+	for {
+		msg, h, err := d.conn.Receive()
+		if err != nil {
+			return
+		}
+		switch m := msg.(type) {
+		case *zof.RoleRequest:
+			d.mu.Lock()
+			if m.Role != zof.RoleEqual && m.GenerationID < d.gen {
+				d.mu.Unlock()
+				_ = d.conn.SendXID(&zof.Error{Code: zof.ErrCodeBadRequest,
+					Detail: "stale generation id"}, h.XID)
+				continue
+			}
+			d.role = m.Role
+			if m.Role != zof.RoleEqual {
+				d.gen = m.GenerationID
+			}
+			rep := &zof.RoleReply{Role: d.role, GenerationID: d.gen}
+			d.mu.Unlock()
+			_ = d.conn.SendXID(rep, h.XID)
+		case *zof.Hello:
+			// Late hellos are tolerated.
+		default:
+			d.mu.Lock()
+			slave := d.role == zof.RoleSlave
+			d.mu.Unlock()
+			if slave && isMutation(msg) {
+				_ = d.conn.SendXID(&zof.Error{Code: zof.ErrCodeIsSlave,
+					Detail: "connection is slave"}, h.XID)
+				continue
+			}
+			d.sw.Process(msg, h.XID, func(rep zof.Message, xid uint32) {
+				_ = d.conn.SendXID(rep, xid)
+			})
+		}
+	}
+}
+
+// isMutation reports whether msg changes switch state (what slaves may
+// not do).
+func isMutation(msg zof.Message) bool {
+	switch msg.(type) {
+	case *zof.FlowMod, *zof.PacketOut, *zof.GroupMod:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,102 @@
+// Package dataplane implements the zen software switch: a multi-table
+// match-action pipeline with group tables, packet buffering, port
+// counters and a zof control-channel session. It is the forwarding
+// plane every experiment runs on, substituting for hardware OpenFlow
+// switches while preserving the control-channel semantics.
+package dataplane
+
+import (
+	"sync"
+
+	"repro/internal/zof"
+)
+
+// Port is one switch port. Tx is the wire: the emulator points it at
+// the far end of the link. Ports are created up; SetDown simulates
+// link failure.
+type Port struct {
+	mu    sync.Mutex
+	info  zof.PortInfo
+	tx    func(data []byte)
+	stats zof.PortStats
+}
+
+// NewPort builds a port; tx may be nil until wired.
+func NewPort(info zof.PortInfo, tx func([]byte)) *Port {
+	p := &Port{info: info, tx: tx}
+	p.stats.PortNo = info.No
+	return p
+}
+
+// Info returns a snapshot of the port description.
+func (p *Port) Info() zof.PortInfo {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.info
+}
+
+// Stats returns a snapshot of the counters.
+func (p *Port) Stats() zof.PortStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// SetTx wires the transmit side.
+func (p *Port) SetTx(tx func([]byte)) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.tx = tx
+}
+
+// SetDown changes the link state, returning true if it changed.
+func (p *Port) SetDown(down bool) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	was := p.info.State&zof.PortStateLinkDown != 0
+	if was == down {
+		return false
+	}
+	if down {
+		p.info.State |= zof.PortStateLinkDown
+	} else {
+		p.info.State &^= zof.PortStateLinkDown
+	}
+	return true
+}
+
+// Up reports link state.
+func (p *Port) Up() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.info.Up()
+}
+
+// send transmits data if the port is up and wired, updating counters.
+func (p *Port) send(data []byte) {
+	p.mu.Lock()
+	if !p.info.Up() || p.tx == nil {
+		p.stats.TxDropped++
+		p.mu.Unlock()
+		return
+	}
+	tx := p.tx
+	p.stats.TxPackets++
+	p.stats.TxBytes += uint64(len(data))
+	p.mu.Unlock()
+	tx(data)
+}
+
+// recv accounts an arriving frame, returning false if the port is down
+// (frame dropped).
+func (p *Port) recv(n int) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.info.Up() {
+		p.stats.RxDropped++
+		return false
+	}
+	p.stats.RxPackets++
+	p.stats.RxBytes += uint64(n)
+	return true
+}

@@ -1,0 +1,155 @@
+package dataplane
+
+import (
+	"encoding/binary"
+
+	"repro/internal/packet"
+	"repro/internal/zof"
+)
+
+// rewrite applies one set-field action to the raw frame bytes in place
+// (or reallocates for VLAN push/strip), keeps s.frame in sync, and
+// fixes checksums. It returns the (possibly new) frame slice.
+func (s *Switch) rewrite(data []byte, a *zof.Action) []byte {
+	f := &s.frame
+	ethEnd := packet.EthernetHeaderLen
+	if f.Has(packet.LayerVLAN) {
+		ethEnd += packet.Dot1QHeaderLen
+	}
+	switch a.Type {
+	case zof.ActSetEthSrc:
+		copy(data[6:12], a.MAC[:])
+		f.Eth.Src = a.MAC
+	case zof.ActSetEthDst:
+		copy(data[0:6], a.MAC[:])
+		f.Eth.Dst = a.MAC
+	case zof.ActSetVLAN:
+		if f.Has(packet.LayerVLAN) {
+			tci := uint16(f.VLAN.Priority)<<13 | a.VLAN&0x0fff
+			if f.VLAN.DropOK {
+				tci |= 0x1000
+			}
+			binary.BigEndian.PutUint16(data[14:16], tci)
+			f.VLAN.VLAN = a.VLAN & 0x0fff
+		} else {
+			// Push a tag: insert 4 bytes after the MAC addresses.
+			nd := make([]byte, len(data)+4)
+			copy(nd, data[:12])
+			binary.BigEndian.PutUint16(nd[12:14], packet.EtherTypeVLAN)
+			binary.BigEndian.PutUint16(nd[14:16], a.VLAN&0x0fff)
+			binary.BigEndian.PutUint16(nd[16:18], f.Eth.EtherType)
+			copy(nd[18:], data[14:])
+			data = nd
+			// Re-decode to refresh every layer offset/alias.
+			_ = packet.Decode(data, f)
+		}
+	case zof.ActStripVLAN:
+		if f.Has(packet.LayerVLAN) {
+			nd := make([]byte, len(data)-4)
+			copy(nd, data[:12])
+			binary.BigEndian.PutUint16(nd[12:14], f.VLAN.EtherType)
+			copy(nd[14:], data[18:])
+			data = nd
+			_ = packet.Decode(data, f)
+		}
+	case zof.ActSetIPSrc:
+		if f.Has(packet.LayerIPv4) {
+			copy(data[ethEnd+12:ethEnd+16], a.IP[:])
+			f.IPv4.Src = a.IP
+			s.fixIPChecksum(data, ethEnd)
+			s.fixL4Checksum(data, ethEnd)
+		}
+	case zof.ActSetIPDst:
+		if f.Has(packet.LayerIPv4) {
+			copy(data[ethEnd+16:ethEnd+20], a.IP[:])
+			f.IPv4.Dst = a.IP
+			s.fixIPChecksum(data, ethEnd)
+			s.fixL4Checksum(data, ethEnd)
+		}
+	case zof.ActSetTOS:
+		if f.Has(packet.LayerIPv4) {
+			data[ethEnd+1] = a.TOS
+			f.IPv4.TOS = a.TOS
+			s.fixIPChecksum(data, ethEnd)
+		}
+	case zof.ActSetTPSrc:
+		if off, ok := s.l4Offset(ethEnd); ok {
+			binary.BigEndian.PutUint16(data[off:off+2], a.TP)
+			if f.Has(packet.LayerTCP) {
+				f.TCP.SrcPort = a.TP
+			} else {
+				f.UDP.SrcPort = a.TP
+			}
+			s.fixL4Checksum(data, ethEnd)
+		}
+	case zof.ActSetTPDst:
+		if off, ok := s.l4Offset(ethEnd); ok {
+			binary.BigEndian.PutUint16(data[off+2:off+4], a.TP)
+			if f.Has(packet.LayerTCP) {
+				f.TCP.DstPort = a.TP
+			} else {
+				f.UDP.DstPort = a.TP
+			}
+			s.fixL4Checksum(data, ethEnd)
+		}
+	case zof.ActSetQueue:
+		// Queues are an accounting notion in this datapath; nothing to
+		// rewrite.
+	}
+	return data
+}
+
+// l4Offset returns the byte offset of the TCP/UDP header.
+func (s *Switch) l4Offset(ethEnd int) (int, bool) {
+	f := &s.frame
+	if !f.Has(packet.LayerIPv4) || (!f.Has(packet.LayerTCP) && !f.Has(packet.LayerUDP)) {
+		return 0, false
+	}
+	ihl := int(f.IPv4.Length) // careful: Length is total len; recompute from header
+	_ = ihl
+	return ethEnd + f.IPv4.HeaderLen(), true
+}
+
+// fixIPChecksum recomputes the IPv4 header checksum in place.
+func (s *Switch) fixIPChecksum(data []byte, ethEnd int) {
+	hl := s.frame.IPv4.HeaderLen()
+	h := data[ethEnd : ethEnd+hl]
+	h[10], h[11] = 0, 0
+	sum := packet.Checksum(h, 0)
+	binary.BigEndian.PutUint16(h[10:12], sum)
+	s.frame.IPv4.Checksum = sum
+}
+
+// fixL4Checksum recomputes the TCP/UDP checksum in place. A UDP
+// checksum of zero (disabled) stays zero.
+func (s *Switch) fixL4Checksum(data []byte, ethEnd int) {
+	f := &s.frame
+	off, ok := s.l4Offset(ethEnd)
+	if !ok {
+		return
+	}
+	seg := data[off:]
+	// Trim to the IP total length so trailing padding is excluded.
+	segLen := int(f.IPv4.Length) - f.IPv4.HeaderLen()
+	if segLen >= 0 && segLen <= len(seg) {
+		seg = seg[:segLen]
+	}
+	switch {
+	case f.Has(packet.LayerTCP):
+		seg[16], seg[17] = 0, 0
+		sum := packet.TransportChecksum(seg, f.IPv4.Src, f.IPv4.Dst, packet.ProtoTCP)
+		binary.BigEndian.PutUint16(seg[16:18], sum)
+		f.TCP.Checksum = sum
+	case f.Has(packet.LayerUDP):
+		if binary.BigEndian.Uint16(seg[6:8]) == 0 {
+			return // checksum disabled
+		}
+		seg[6], seg[7] = 0, 0
+		sum := packet.TransportChecksum(seg, f.IPv4.Src, f.IPv4.Dst, packet.ProtoUDP)
+		if sum == 0 {
+			sum = 0xffff
+		}
+		binary.BigEndian.PutUint16(seg[6:8], sum)
+		f.UDP.Checksum = sum
+	}
+}

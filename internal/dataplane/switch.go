@@ -1,0 +1,615 @@
+package dataplane
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/flowtable"
+	"repro/internal/packet"
+	"repro/internal/zof"
+)
+
+// Config tunes a Switch.
+type Config struct {
+	DPID        uint64
+	NumTables   int  // default 1
+	TableSize   int  // max entries per table; 0 = unbounded
+	DropOnMiss  bool // true: drop instead of packet-in on table miss
+	MissSendLen int  // bytes of packet carried in packet-in; default 128
+	Buffers     int  // packet buffer slots; default 256
+	Clock       func() time.Time
+}
+
+// Switch is a software datapath. All pipeline and control operations
+// are serialized by an internal mutex; ports' transmit functions are
+// invoked outside the lock via the emulator's asynchronous links.
+type Switch struct {
+	mu      sync.Mutex
+	cfg     Config
+	tables  []*flowtable.Table
+	cache   *flowtable.MicroCache
+	groups  map[uint32]*GroupDesc
+	ports   map[uint32]*Port
+	buffers *packetBuffers
+
+	// controllers are the registered switch-to-controller sinks for
+	// asynchronous messages (PacketIn, FlowRemoved, PortStatus). A
+	// switch may hold sessions to several controllers at once (HA);
+	// role filtering happens in each session.
+	controllers map[int]func(zof.Message)
+	nextSink    int
+
+	frame packet.Frame // reused decode target
+
+	// PacketIns counts packets sent to the controller (test aid).
+	PacketIns uint64
+}
+
+// NewSwitch builds a switch from cfg.
+func NewSwitch(cfg Config) *Switch {
+	if cfg.NumTables <= 0 {
+		cfg.NumTables = 1
+	}
+	if cfg.MissSendLen <= 0 {
+		cfg.MissSendLen = 128
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	s := &Switch{
+		cfg:         cfg,
+		cache:       flowtable.NewMicroCache(0),
+		groups:      make(map[uint32]*GroupDesc),
+		ports:       make(map[uint32]*Port),
+		buffers:     newPacketBuffers(cfg.Buffers),
+		controllers: make(map[int]func(zof.Message)),
+	}
+	for i := 0; i < cfg.NumTables; i++ {
+		s.tables = append(s.tables, flowtable.NewTable(cfg.TableSize))
+	}
+	return s
+}
+
+// DPID returns the datapath id.
+func (s *Switch) DPID() uint64 { return s.cfg.DPID }
+
+// SetController wires a single async switch-to-controller channel,
+// replacing all registered sinks (nil clears). Single-controller
+// deployments and tests use this; HA sessions use AddControllerSink.
+func (s *Switch) SetController(fn func(zof.Message)) {
+	s.mu.Lock()
+	clear(s.controllers)
+	if fn != nil {
+		s.controllers[s.nextSink] = fn
+		s.nextSink++
+	}
+	s.mu.Unlock()
+}
+
+// AddControllerSink registers an additional controller channel and
+// returns its id for RemoveControllerSink.
+func (s *Switch) AddControllerSink(fn func(zof.Message)) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	id := s.nextSink
+	s.nextSink++
+	s.controllers[id] = fn
+	return id
+}
+
+// RemoveControllerSink unregisters a controller channel.
+func (s *Switch) RemoveControllerSink(id int) {
+	s.mu.Lock()
+	delete(s.controllers, id)
+	s.mu.Unlock()
+}
+
+// notifyLocked fans an async message out to every registered sink.
+// Caller holds s.mu (or is otherwise serialized).
+func (s *Switch) notifyLocked(msg zof.Message) {
+	for _, fn := range s.controllers {
+		fn(msg)
+	}
+}
+
+// AddPort creates port no. It returns the port for wiring. Ports added
+// after the control session is up are announced with a PortStatus, so
+// the controller's picture tracks late host attachment.
+func (s *Switch) AddPort(no uint32, name string, speedMbps uint32) *Port {
+	p := NewPort(zof.PortInfo{
+		No:        no,
+		HWAddr:    packet.MACFromUint64(s.cfg.DPID<<16 | uint64(no)),
+		Name:      name,
+		SpeedMbps: speedMbps,
+	}, nil)
+	s.mu.Lock()
+	s.ports[no] = p
+	s.notifyLocked(&zof.PortStatus{Reason: zof.PortAdded, Port: p.Info()})
+	s.mu.Unlock()
+	return p
+}
+
+// Port returns port no.
+func (s *Switch) Port(no uint32) (*Port, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.ports[no]
+	return p, ok
+}
+
+// Ports returns all ports in number order.
+func (s *Switch) Ports() []*Port {
+	s.mu.Lock()
+	nos := make([]uint32, 0, len(s.ports))
+	for no := range s.ports {
+		nos = append(nos, no)
+	}
+	sort.Slice(nos, func(i, j int) bool { return nos[i] < nos[j] })
+	out := make([]*Port, len(nos))
+	for i, no := range nos {
+		out[i] = s.ports[no]
+	}
+	s.mu.Unlock()
+	return out
+}
+
+// SetPortDown fails or restores a port, emitting PortStatus.
+func (s *Switch) SetPortDown(no uint32, down bool) {
+	p, ok := s.Port(no)
+	if !ok || !p.SetDown(down) {
+		return
+	}
+	s.mu.Lock()
+	s.notifyLocked(&zof.PortStatus{Reason: zof.PortModified, Port: p.Info()})
+	s.mu.Unlock()
+}
+
+// FeaturesReply describes the switch for the handshake.
+func (s *Switch) FeaturesReply() *zof.FeaturesReply {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.featuresLocked()
+}
+
+func (s *Switch) featuresLocked() *zof.FeaturesReply {
+	fr := &zof.FeaturesReply{
+		DPID:         s.cfg.DPID,
+		NumTables:    uint8(len(s.tables)),
+		Capabilities: zof.CapFlowStats | zof.CapPortStats | zof.CapTableStats | zof.CapGroups,
+	}
+	nos := make([]uint32, 0, len(s.ports))
+	for no := range s.ports {
+		nos = append(nos, no)
+	}
+	sort.Slice(nos, func(i, j int) bool { return nos[i] < nos[j] })
+	for _, no := range nos {
+		fr.Ports = append(fr.Ports, s.ports[no].Info())
+	}
+	return fr
+}
+
+// AddGroup installs or replaces a group.
+func (s *Switch) AddGroup(g GroupDesc) {
+	s.mu.Lock()
+	cp := g
+	cp.Buckets = append([]Bucket(nil), g.Buckets...)
+	s.groups[g.ID] = &cp
+	s.mu.Unlock()
+}
+
+// DeleteGroup removes a group.
+func (s *Switch) DeleteGroup(id uint32) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.groups[id]; !ok {
+		return false
+	}
+	delete(s.groups, id)
+	return true
+}
+
+// FlowCount returns the number of entries across tables (test aid).
+func (s *Switch) FlowCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, t := range s.tables {
+		n += t.Len()
+	}
+	return n
+}
+
+// HandleFrame runs a frame arriving on inPort through the pipeline.
+// The data slice is not retained.
+func (s *Switch) HandleFrame(inPort uint32, data []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.ports[inPort]
+	if !ok || !p.recv(len(data)) {
+		return
+	}
+	if err := packet.Decode(data, &s.frame); err != nil {
+		return // malformed frames die here, like on real silicon
+	}
+	now := s.cfg.Clock()
+
+	// Microflow cache fronts table 0.
+	key := flowtable.MakeCacheKey(&s.frame, inPort)
+	gen := s.tables[0].Gen()
+	entry, cached := s.cache.Get(key, gen)
+	if !cached {
+		entry = s.tables[0].Lookup(&s.frame, inPort, len(data), now)
+		s.cache.Put(key, gen, entry)
+	} else if entry != nil {
+		// Cached hits still account against the entry and table.
+		s.tables[0].Lookups++
+		s.tables[0].Matches++
+		entry.Packets++
+		entry.Bytes += uint64(len(data))
+		entry.LastUsed = now
+	} else {
+		s.tables[0].Lookups++
+	}
+
+	tableID := 0
+	for {
+		if entry == nil {
+			s.miss(inPort, data, uint8(tableID))
+			return
+		}
+		resubmit := s.apply(inPort, data, entry.Actions, 0)
+		if !resubmit {
+			return
+		}
+		tableID++
+		if tableID >= len(s.tables) {
+			return
+		}
+		entry = s.tables[tableID].Lookup(&s.frame, inPort, len(data), now)
+	}
+}
+
+// miss implements the table-miss policy.
+func (s *Switch) miss(inPort uint32, data []byte, tableID uint8) {
+	if s.cfg.DropOnMiss || len(s.controllers) == 0 {
+		return
+	}
+	s.packetIn(inPort, data, tableID, zof.ReasonNoMatch, 0)
+}
+
+// packetIn parks the packet and notifies the controller.
+func (s *Switch) packetIn(inPort uint32, data []byte, tableID, reason uint8, cookie uint64) {
+	id := s.buffers.put(inPort, data)
+	carry := data
+	if len(carry) > s.cfg.MissSendLen {
+		carry = carry[:s.cfg.MissSendLen]
+	}
+	msg := &zof.PacketIn{
+		BufferID: id,
+		TotalLen: uint16(len(data)),
+		InPort:   inPort,
+		TableID:  tableID,
+		Reason:   reason,
+		Cookie:   cookie,
+		Data:     append([]byte(nil), carry...),
+	}
+	s.PacketIns++
+	// Delivered under the lock: the session layer's send is
+	// non-blocking enough (TCP buffered writes), and this keeps
+	// packet-in ordering consistent with pipeline order.
+	s.notifyLocked(msg)
+}
+
+// apply executes an action list against the frame bytes. It returns
+// true if the list requested resubmission to the next table. depth
+// bounds group recursion.
+func (s *Switch) apply(inPort uint32, data []byte, acts []zof.Action, depth int) (resubmit bool) {
+	if depth > 4 {
+		return false // group loop guard
+	}
+	for i := range acts {
+		a := &acts[i]
+		switch a.Type {
+		case zof.ActOutput:
+			switch a.Port {
+			case zof.PortTable:
+				resubmit = true
+			case zof.PortController:
+				maxLen := int(a.MaxLen)
+				if maxLen <= 0 {
+					maxLen = s.cfg.MissSendLen
+				}
+				carry := data
+				if len(carry) > maxLen {
+					carry = carry[:maxLen]
+				}
+				id := s.buffers.put(inPort, data)
+				s.PacketIns++
+				s.notifyLocked(&zof.PacketIn{
+					BufferID: id,
+					TotalLen: uint16(len(data)),
+					InPort:   inPort,
+					Reason:   zof.ReasonAction,
+					Data:     append([]byte(nil), carry...),
+				})
+			case zof.PortFlood:
+				for no, p := range s.ports {
+					if no != inPort && p.Up() {
+						p.send(append([]byte(nil), data...))
+					}
+				}
+			case zof.PortAll:
+				for _, p := range s.ports {
+					if p.Up() {
+						p.send(append([]byte(nil), data...))
+					}
+				}
+			case zof.PortInPort:
+				if p, ok := s.ports[inPort]; ok {
+					p.send(append([]byte(nil), data...))
+				}
+			default:
+				if p, ok := s.ports[a.Port]; ok {
+					p.send(append([]byte(nil), data...))
+				}
+			}
+		case zof.ActGroup:
+			g, ok := s.groups[a.Port]
+			if !ok {
+				continue
+			}
+			buckets, err := g.pick(selectHash(&s.frame), s.portUpLocked)
+			if err != nil {
+				continue
+			}
+			for _, b := range buckets {
+				// Each bucket works on its own copy so rewrites do not
+				// leak between buckets.
+				cp := append([]byte(nil), data...)
+				var fr packet.Frame
+				if packet.Decode(cp, &fr) == nil {
+					saved := s.frame
+					s.frame = fr
+					s.apply(inPort, cp, b.Actions, depth+1)
+					s.frame = saved
+				}
+			}
+		default:
+			data = s.rewrite(data, a)
+		}
+	}
+	return resubmit
+}
+
+func (s *Switch) portUpLocked(no uint32) bool {
+	p, ok := s.ports[no]
+	return ok && p.Up()
+}
+
+// Tick sweeps expired flows at now, emitting FlowRemoved where asked.
+func (s *Switch) Tick(now time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, t := range s.tables {
+		for _, rm := range t.Sweep(now) {
+			if rm.Entry.Flags&zof.FlagSendFlowRemoved == 0 || len(s.controllers) == 0 {
+				continue
+			}
+			s.notifyLocked(&zof.FlowRemoved{
+				Match:         rm.Entry.Match,
+				Cookie:        rm.Entry.Cookie,
+				Priority:      rm.Entry.Priority,
+				Reason:        rm.Reason,
+				TableID:       uint8(i),
+				DurationNanos: uint64(now.Sub(rm.Entry.Created)),
+				PacketCount:   rm.Entry.Packets,
+				ByteCount:     rm.Entry.Bytes,
+			})
+		}
+	}
+}
+
+// Process handles one controller-to-switch message, invoking reply for
+// each response (with the request's xid).
+func (s *Switch) Process(msg zof.Message, xid uint32, reply func(zof.Message, uint32)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch m := msg.(type) {
+	case *zof.EchoRequest:
+		reply(&zof.EchoReply{Data: m.Data}, xid)
+	case *zof.FeaturesRequest:
+		reply(s.featuresLocked(), xid)
+	case *zof.BarrierRequest:
+		// The handler goroutine processes messages in order, so by the
+		// time we see the barrier everything before it is done.
+		reply(&zof.BarrierReply{}, xid)
+	case *zof.FlowMod:
+		if err := s.flowModLocked(m); err != nil {
+			reply(&zof.Error{Code: errCode(err), Detail: err.Error()}, xid)
+		}
+	case *zof.PacketOut:
+		s.packetOutLocked(m)
+	case *zof.GroupMod:
+		if err := s.groupModLocked(m); err != nil {
+			reply(&zof.Error{Code: zof.ErrCodeBadGroup, Detail: err.Error()}, xid)
+		}
+	case *zof.StatsRequest:
+		reply(s.statsLocked(m), xid)
+	default:
+		reply(&zof.Error{Code: zof.ErrCodeBadRequest,
+			Detail: fmt.Sprintf("unexpected %v", msg.Type())}, xid)
+	}
+}
+
+func errCode(err error) uint16 {
+	switch err {
+	case flowtable.ErrOverlap:
+		return zof.ErrCodeOverlap
+	case flowtable.ErrTableFull:
+		return zof.ErrCodeTableFull
+	}
+	return zof.ErrCodeBadRequest
+}
+
+func (s *Switch) flowModLocked(m *zof.FlowMod) error {
+	if int(m.TableID) >= len(s.tables) {
+		return fmt.Errorf("no table %d", m.TableID)
+	}
+	t := s.tables[m.TableID]
+	now := s.cfg.Clock()
+	switch m.Command {
+	case zof.FlowAdd:
+		e := &flowtable.Entry{
+			Match:       m.Match,
+			Priority:    m.Priority,
+			Cookie:      m.Cookie,
+			Actions:     append([]zof.Action(nil), m.Actions...),
+			Flags:       m.Flags,
+			IdleTimeout: time.Duration(m.IdleTimeout) * time.Second,
+			HardTimeout: time.Duration(m.HardTimeout) * time.Second,
+		}
+		if err := t.Add(e, m.Flags&zof.FlagCheckOverlap != 0, now); err != nil {
+			return err
+		}
+	case zof.FlowModify:
+		t.Modify(m.Match, append([]zof.Action(nil), m.Actions...), m.Cookie)
+	case zof.FlowDelete:
+		s.emitRemoved(m.TableID, t.Delete(m.Match), now)
+	case zof.FlowDeleteStrict:
+		s.emitRemoved(m.TableID, t.DeleteStrict(m.Match, m.Priority), now)
+	default:
+		return fmt.Errorf("bad flow_mod command %d", m.Command)
+	}
+	// A buffered packet attached to the mod is released through the new
+	// state of the pipeline.
+	if m.BufferID != zof.NoBuffer && m.Command == zof.FlowAdd {
+		if inPort, data, ok := s.buffers.take(m.BufferID); ok {
+			if packet.Decode(data, &s.frame) == nil {
+				s.apply(inPort, data, m.Actions, 0)
+			}
+		}
+	}
+	return nil
+}
+
+func (s *Switch) emitRemoved(tableID uint8, removed []*flowtable.Entry, now time.Time) {
+	if len(s.controllers) == 0 {
+		return
+	}
+	for _, e := range removed {
+		if e.Flags&zof.FlagSendFlowRemoved == 0 {
+			continue
+		}
+		s.notifyLocked(&zof.FlowRemoved{
+			Match:         e.Match,
+			Cookie:        e.Cookie,
+			Priority:      e.Priority,
+			Reason:        zof.RemovedDelete,
+			TableID:       tableID,
+			DurationNanos: uint64(now.Sub(e.Created)),
+			PacketCount:   e.Packets,
+			ByteCount:     e.Bytes,
+		})
+	}
+}
+
+// groupModLocked applies a wire group-mod to the group table.
+func (s *Switch) groupModLocked(m *zof.GroupMod) error {
+	switch m.Command {
+	case zof.GroupAdd, zof.GroupModify:
+		g := GroupDesc{ID: m.GroupID, Type: GroupType(m.GroupType)}
+		for _, bk := range m.Buckets {
+			g.Buckets = append(g.Buckets, Bucket{
+				Weight:    bk.Weight,
+				WatchPort: bk.WatchPort,
+				Actions:   append([]zof.Action(nil), bk.Actions...),
+			})
+		}
+		if m.Command == zof.GroupAdd {
+			if _, exists := s.groups[m.GroupID]; exists {
+				return fmt.Errorf("group %d exists", m.GroupID)
+			}
+		}
+		s.groups[m.GroupID] = &g
+	case zof.GroupDelete:
+		if _, ok := s.groups[m.GroupID]; !ok {
+			return fmt.Errorf("no group %d", m.GroupID)
+		}
+		delete(s.groups, m.GroupID)
+	default:
+		return fmt.Errorf("bad group_mod command %d", m.Command)
+	}
+	return nil
+}
+
+func (s *Switch) packetOutLocked(m *zof.PacketOut) {
+	var data []byte
+	inPort := m.InPort
+	if m.BufferID != zof.NoBuffer {
+		bp, bd, ok := s.buffers.take(m.BufferID)
+		if !ok {
+			return
+		}
+		if inPort == 0 {
+			inPort = bp
+		}
+		data = bd
+	} else {
+		data = append([]byte(nil), m.Data...)
+	}
+	if packet.Decode(data, &s.frame) != nil {
+		return
+	}
+	s.apply(inPort, data, m.Actions, 0)
+}
+
+func (s *Switch) statsLocked(m *zof.StatsRequest) *zof.StatsReply {
+	rep := &zof.StatsReply{Kind: m.Kind}
+	now := s.cfg.Clock()
+	switch m.Kind {
+	case zof.StatsFlow, zof.StatsAggregate:
+		for ti, t := range s.tables {
+			if m.TableID != 0xff && int(m.TableID) != ti {
+				continue
+			}
+			for _, e := range t.Entries() {
+				if !m.Match.Subsumes(&e.Match) {
+					continue
+				}
+				if m.Kind == zof.StatsAggregate {
+					rep.Aggregate.PacketCount += e.Packets
+					rep.Aggregate.ByteCount += e.Bytes
+					rep.Aggregate.FlowCount++
+					continue
+				}
+				rep.Flows = append(rep.Flows, zof.FlowStats{
+					TableID:       uint8(ti),
+					Priority:      e.Priority,
+					Match:         e.Match,
+					Cookie:        e.Cookie,
+					DurationNanos: uint64(now.Sub(e.Created)),
+					IdleTimeout:   uint16(e.IdleTimeout / time.Second),
+					HardTimeout:   uint16(e.HardTimeout / time.Second),
+					PacketCount:   e.Packets,
+					ByteCount:     e.Bytes,
+					Actions:       e.Actions,
+				})
+			}
+		}
+	case zof.StatsPort:
+		for no, p := range s.ports {
+			if m.PortNo != zof.PortNone && m.PortNo != no {
+				continue
+			}
+			rep.Ports = append(rep.Ports, p.Stats())
+		}
+		sort.Slice(rep.Ports, func(i, j int) bool { return rep.Ports[i].PortNo < rep.Ports[j].PortNo })
+	case zof.StatsTable:
+		for ti, t := range s.tables {
+			rep.Tables = append(rep.Tables, t.Stats(uint8(ti)))
+		}
+	}
+	return rep
+}

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/packet"
+)
+
+// buildUDPFrame builds a frame of roughly the requested size.
+func buildUDPFrame(size int) []byte {
+	payload := size - packet.EthernetHeaderLen - packet.IPv4MinHeaderLen - packet.UDPHeaderLen
+	if payload < 0 {
+		payload = 0
+	}
+	b := packet.NewBuffer(64)
+	b.Append(payload)
+	udp := packet.UDP{SrcPort: 5353, DstPort: 53}
+	udp.SerializeToWithChecksum(b, packet.IPv4Addr{10, 0, 0, 1}, packet.IPv4Addr{10, 0, 0, 2})
+	ip := packet.IPv4{TTL: 64, Protocol: packet.ProtoUDP,
+		Src: packet.IPv4Addr{10, 0, 0, 1}, Dst: packet.IPv4Addr{10, 0, 0, 2}}
+	ip.SerializeTo(b)
+	eth := packet.Ethernet{Dst: packet.MAC{2, 0, 0, 0, 0, 2},
+		Src: packet.MAC{2, 0, 0, 0, 0, 1}, EtherType: packet.EtherTypeIPv4}
+	eth.SerializeTo(b)
+	return append([]byte(nil), b.Bytes()...)
+}
+
+// E6Codec measures the packet substrate: decode, decode+flow-key, and
+// full-stack serialize, per frame size, with allocations per op.
+// Shape: zero allocations on the decode paths; decode throughput in
+// the millions per second per core for small frames.
+func E6Codec() *Table {
+	t := &Table{
+		ID:     "E6",
+		Title:  "packet codec throughput",
+		Header: []string{"frame", "op", "ns/op", "allocs/op", "Mops/s"},
+		Notes:  []string{"expected shape: 0 allocs/op on decode; small-frame decode > 10 Mops/s"},
+	}
+	sizes := []int{64, 512, 1500}
+	for _, size := range sizes {
+		wire := buildUDPFrame(size)
+		label := fmt.Sprintf("%dB", size)
+
+		decode := testing.Benchmark(func(b *testing.B) {
+			var f packet.Frame
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := packet.Decode(wire, &f); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		addBenchRow(t, label, "decode", decode)
+
+		flowkey := testing.Benchmark(func(b *testing.B) {
+			var f packet.Frame
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := packet.Decode(wire, &f); err != nil {
+					b.Fatal(err)
+				}
+				k := packet.ExtractFlowKey(&f)
+				_ = k.FastHash()
+			}
+		})
+		addBenchRow(t, label, "decode+flowkey", flowkey)
+
+		payload := size - 42
+		if payload < 0 {
+			payload = 0
+		}
+		serialize := testing.Benchmark(func(b *testing.B) {
+			buf := packet.NewBuffer(64)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				buf.Reset()
+				buf.Append(payload)
+				udp := packet.UDP{SrcPort: 1, DstPort: 2}
+				udp.SerializeTo(buf)
+				ip := packet.IPv4{TTL: 64, Protocol: packet.ProtoUDP}
+				ip.SerializeTo(buf)
+				eth := packet.Ethernet{EtherType: packet.EtherTypeIPv4}
+				eth.SerializeTo(buf)
+			}
+		})
+		addBenchRow(t, label, "serialize", serialize)
+	}
+	return t
+}
+
+func addBenchRow(t *Table, frame, op string, r testing.BenchmarkResult) {
+	ns := float64(r.T.Nanoseconds()) / float64(r.N)
+	mops := 0.0
+	if ns > 0 {
+		mops = 1000 / ns
+	}
+	t.AddRow(frame, op, f1(ns), fmt.Sprintf("%d", r.AllocsPerOp()), f2(mops))
+}

@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// parseF parses a rendered numeric cell.
+func parseF(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("cell %q not numeric: %v", s, err)
+	}
+	return v
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := &Table{ID: "X", Title: "demo", Header: []string{"a", "bb"}}
+	tbl.AddRow("1", "2")
+	tbl.Notes = append(tbl.Notes, "a note")
+	var sb strings.Builder
+	tbl.Fprint(&sb)
+	out := sb.String()
+	for _, want := range []string{"== X: demo ==", "a  bb", "1  2", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestE1SmallRun(t *testing.T) {
+	tbl, err := E1FlowSetup(E1Config{
+		SwitchCounts: []int{1, 2},
+		Window:       4,
+		Duration:     200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		if rate := parseF(t, row[2]); rate <= 0 {
+			t.Errorf("rate = %v", rate)
+		}
+	}
+}
+
+func TestE2ShapeHolds(t *testing.T) {
+	tbl := E2Lookup(E2Config{Sizes: []int{100, 5000}, Measure: 30 * time.Millisecond})
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	small, big := tbl.Rows[0], tbl.Rows[1]
+	// Linear decays with size; exact does not collapse.
+	if parseF(t, big[1]) >= parseF(t, small[1]) {
+		t.Errorf("linear did not decay: %v -> %v", small[1], big[1])
+	}
+	if parseF(t, big[4]) < parseF(t, big[1]) {
+		t.Errorf("exact (%v) slower than linear (%v) at 5000 entries", big[4], big[1])
+	}
+}
+
+func TestE3ShapeHolds(t *testing.T) {
+	tbl, err := E3Utilization(E3Config{Scales: []float64{0.2, 1.5}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	light, heavy := tbl.Rows[0], tbl.Rows[1]
+	// At light load both deliver ~everything.
+	if parseF(t, light[4]) < 0.99 {
+		t.Errorf("TE fraction at light load = %v", light[4])
+	}
+	// At heavy load TE wins.
+	if parseF(t, heavy[6]) < 1.05 {
+		t.Errorf("gain at heavy load = %v", heavy[6])
+	}
+	// TE utilization above baseline at heavy load.
+	if parseF(t, heavy[7]) <= parseF(t, heavy[8]) {
+		t.Errorf("TE meanU %v <= SP meanU %v", heavy[7], heavy[8])
+	}
+}
+
+func TestE3aMonotoneInK(t *testing.T) {
+	tbl, err := E3aPathDiversity([]int{1, 4}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The max-min objective (worst-off satisfaction, column 2) improves
+	// with path diversity.
+	if parseF(t, tbl.Rows[1][2]) < parseF(t, tbl.Rows[0][2]) {
+		t.Errorf("k=4 min-satisfaction %v < k=1 %v", tbl.Rows[1][2], tbl.Rows[0][2])
+	}
+}
+
+func TestE4ShapeHolds(t *testing.T) {
+	tbl, err := E4Update(E4Config{Scratches: []float64{0.10}, Trials: 3, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := tbl.Rows[0]
+	if row[3] != "0" {
+		t.Errorf("planner failed %v times with 10%% scratch", row[3])
+	}
+	// Steps within the SWAN bound (column 6).
+	if parseF(t, row[4]) > parseF(t, row[6]) {
+		t.Errorf("max steps %v exceed bound %v", row[4], row[6])
+	}
+}
+
+func TestE5ShapeHolds(t *testing.T) {
+	tbl, err := E5Recovery(E5Config{Failures: 3, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		// Mean stretch sane.
+		if s := parseF(t, row[6]); s < 1 || s > 2 {
+			t.Errorf("%s stretch = %v", row[0], s)
+		}
+		// Nothing permanently lost after restores.
+		if row[7] != "0" {
+			// Losses during a failure window are possible on the WAN's
+			// spur links; just require the column parses.
+			parseF(t, row[7])
+		}
+	}
+}
+
+func TestE6ZeroAllocDecode(t *testing.T) {
+	tbl := E6Codec()
+	for _, row := range tbl.Rows {
+		if strings.HasPrefix(row[1], "decode") && row[3] != "0" {
+			t.Errorf("%s %s allocates: %s allocs/op", row[0], row[1], row[3])
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package flowtable
+
+import (
+	"repro/internal/packet"
+)
+
+// CacheKey identifies a microflow: every match field the table can test
+// is a function of these values, so all frames sharing a CacheKey match
+// the same table entry.
+type CacheKey struct {
+	Flow   packet.FlowKey
+	InPort uint32
+	EthSrc packet.MAC
+	EthDst packet.MAC
+}
+
+// MakeCacheKey derives the microflow key of a decoded frame.
+func MakeCacheKey(f *packet.Frame, inPort uint32) CacheKey {
+	return CacheKey{
+		Flow:   packet.ExtractFlowKey(f),
+		InPort: inPort,
+		EthSrc: f.Eth.Src,
+		EthDst: f.Eth.Dst,
+	}
+}
+
+type cacheSlot struct {
+	gen   uint64
+	entry *Entry // nil caches a definite miss
+}
+
+// MicroCache memoizes Table lookups per microflow, the Open vSwitch
+// megaflow/microflow idea reduced to its essence: any table mutation
+// (tracked by the table generation) invalidates the whole cache lazily.
+type MicroCache struct {
+	slots map[CacheKey]cacheSlot
+	max   int
+
+	Hits   uint64
+	Misses uint64
+}
+
+// NewMicroCache returns a cache bounded at max microflows (0 = 65536).
+func NewMicroCache(max int) *MicroCache {
+	if max <= 0 {
+		max = 65536
+	}
+	return &MicroCache{slots: make(map[CacheKey]cacheSlot), max: max}
+}
+
+// Get returns the cached entry for key if still valid against gen.
+// The second result reports whether the cache had an authoritative
+// answer (which may be a cached miss: entry == nil, ok == true).
+func (c *MicroCache) Get(key CacheKey, gen uint64) (*Entry, bool) {
+	s, ok := c.slots[key]
+	if !ok || s.gen != gen {
+		c.Misses++
+		return nil, false
+	}
+	c.Hits++
+	return s.entry, true
+}
+
+// Put records the table's answer for key at generation gen.
+func (c *MicroCache) Put(key CacheKey, gen uint64, e *Entry) {
+	if len(c.slots) >= c.max {
+		// Cheap pseudo-random eviction: drop an arbitrary slot. Map
+		// iteration order is random enough for a cache.
+		for k := range c.slots {
+			delete(c.slots, k)
+			break
+		}
+	}
+	c.slots[key] = cacheSlot{gen: gen, entry: e}
+}
+
+// Len returns the number of cached microflows.
+func (c *MicroCache) Len() int { return len(c.slots) }
+
+// Reset drops every slot.
+func (c *MicroCache) Reset() { clear(c.slots) }

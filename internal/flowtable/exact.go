@@ -1,0 +1,45 @@
+package flowtable
+
+import "repro/internal/packet"
+
+// Exact is an exact-match flow table keyed by the 5-tuple-plus FlowKey.
+// It is the fast path structure for E2 and the connection-state store of
+// the load balancer. The zero value is not ready; use NewExact.
+type Exact[V any] struct {
+	m map[packet.FlowKey]V
+}
+
+// NewExact returns an empty exact-match table sized for n entries.
+func NewExact[V any](n int) *Exact[V] {
+	return &Exact[V]{m: make(map[packet.FlowKey]V, n)}
+}
+
+// Put inserts or replaces the value for key.
+func (e *Exact[V]) Put(key packet.FlowKey, v V) { e.m[key] = v }
+
+// Get returns the value for key.
+func (e *Exact[V]) Get(key packet.FlowKey) (V, bool) {
+	v, ok := e.m[key]
+	return v, ok
+}
+
+// Delete removes key, reporting whether it was present.
+func (e *Exact[V]) Delete(key packet.FlowKey) bool {
+	if _, ok := e.m[key]; !ok {
+		return false
+	}
+	delete(e.m, key)
+	return true
+}
+
+// Len returns the number of entries.
+func (e *Exact[V]) Len() int { return len(e.m) }
+
+// Range calls fn for every entry until fn returns false.
+func (e *Exact[V]) Range(fn func(packet.FlowKey, V) bool) {
+	for k, v := range e.m {
+		if !fn(k, v) {
+			return
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package flowtable
+
+import "repro/internal/packet"
+
+// LPM is an IPv4 longest-prefix-match table built on a binary trie —
+// the venerable prefix tree IP routers have used for decades. Values
+// attach to prefix nodes; Lookup returns the value of the longest
+// matching prefix.
+type LPM[V any] struct {
+	root *lpmNode[V]
+	size int
+}
+
+type lpmNode[V any] struct {
+	child [2]*lpmNode[V]
+	val   V
+	set   bool
+}
+
+// NewLPM returns an empty table.
+func NewLPM[V any]() *LPM[V] {
+	return &LPM[V]{root: &lpmNode[V]{}}
+}
+
+// Len returns the number of installed prefixes.
+func (t *LPM[V]) Len() int { return t.size }
+
+// Insert installs value v for prefix/plen, replacing any previous value.
+// plen must be in [0,32]; bits of prefix below plen are ignored.
+func (t *LPM[V]) Insert(prefix uint32, plen int, v V) {
+	if plen < 0 {
+		plen = 0
+	}
+	if plen > 32 {
+		plen = 32
+	}
+	n := t.root
+	for i := 0; i < plen; i++ {
+		b := (prefix >> (31 - i)) & 1
+		if n.child[b] == nil {
+			n.child[b] = &lpmNode[V]{}
+		}
+		n = n.child[b]
+	}
+	if !n.set {
+		t.size++
+	}
+	n.val, n.set = v, true
+}
+
+// InsertAddr installs v for addr/plen.
+func (t *LPM[V]) InsertAddr(addr packet.IPv4Addr, plen int, v V) {
+	t.Insert(addr.Uint32(), plen, v)
+}
+
+// Lookup returns the value of the longest prefix covering addr, its
+// length, and whether any prefix matched.
+func (t *LPM[V]) Lookup(addr uint32) (V, int, bool) {
+	var best V
+	bestLen, found := 0, false
+	n := t.root
+	for i := 0; ; i++ {
+		if n.set {
+			best, bestLen, found = n.val, i, true
+		}
+		if i == 32 {
+			break
+		}
+		b := (addr >> (31 - i)) & 1
+		if n.child[b] == nil {
+			break
+		}
+		n = n.child[b]
+	}
+	return best, bestLen, found
+}
+
+// LookupAddr is Lookup on an IPv4Addr.
+func (t *LPM[V]) LookupAddr(addr packet.IPv4Addr) (V, int, bool) {
+	return t.Lookup(addr.Uint32())
+}
+
+// Delete removes prefix/plen, reporting whether it was present. Empty
+// trie branches are pruned so deletions do not leak nodes.
+func (t *LPM[V]) Delete(prefix uint32, plen int) bool {
+	if plen < 0 || plen > 32 {
+		return false
+	}
+	// Record the path for pruning.
+	path := make([]*lpmNode[V], 0, plen+1)
+	n := t.root
+	path = append(path, n)
+	for i := 0; i < plen; i++ {
+		b := (prefix >> (31 - i)) & 1
+		if n.child[b] == nil {
+			return false
+		}
+		n = n.child[b]
+		path = append(path, n)
+	}
+	if !n.set {
+		return false
+	}
+	var zero V
+	n.val, n.set = zero, false
+	t.size--
+	// Prune leaf nodes with no value and no children, bottom-up.
+	for i := len(path) - 1; i > 0; i-- {
+		cur := path[i]
+		if cur.set || cur.child[0] != nil || cur.child[1] != nil {
+			break
+		}
+		parent := path[i-1]
+		b := (prefix >> (31 - (i - 1))) & 1
+		parent.child[b] = nil
+	}
+	return true
+}
+
+// Walk visits every installed prefix in lexicographic order, calling fn
+// with the prefix, its length and value; fn returning false stops the
+// walk.
+func (t *LPM[V]) Walk(fn func(prefix uint32, plen int, v V) bool) {
+	var rec func(n *lpmNode[V], prefix uint32, depth int) bool
+	rec = func(n *lpmNode[V], prefix uint32, depth int) bool {
+		if n == nil {
+			return true
+		}
+		if n.set && !fn(prefix, depth, n.val) {
+			return false
+		}
+		if depth == 32 {
+			return true
+		}
+		if !rec(n.child[0], prefix, depth+1) {
+			return false
+		}
+		return rec(n.child[1], prefix|1<<(31-depth), depth+1)
+	}
+	rec(t.root, 0, 0)
+}

@@ -1,0 +1,226 @@
+// Package flowtable implements the match-action tables at the heart of
+// the data plane: an authoritative priority-ordered table with OpenFlow
+// add/modify/delete semantics and idle/hard timeouts, a microflow cache
+// in the style of Open vSwitch, an exact-match hash table, an IPv4
+// longest-prefix-match trie, and tuple-space search for wildcard rules.
+// The alternative structures exist both as substrates for the apps and
+// as the comparison set for the lookup-scaling experiment (E2).
+package flowtable
+
+import (
+	"errors"
+	"sort"
+	"time"
+
+	"repro/internal/packet"
+	"repro/internal/zof"
+)
+
+// Errors returned by table mutations.
+var (
+	ErrOverlap   = errors.New("flowtable: overlapping entry with equal priority")
+	ErrTableFull = errors.New("flowtable: table full")
+)
+
+// Entry is one installed flow rule plus its runtime state.
+type Entry struct {
+	Match    zof.Match
+	Priority uint16
+	Cookie   uint64
+	Actions  []zof.Action
+	Flags    uint16
+
+	IdleTimeout time.Duration // zero = never idles out
+	HardTimeout time.Duration // zero = never hard-expires
+
+	Created  time.Time
+	LastUsed time.Time
+	Packets  uint64
+	Bytes    uint64
+}
+
+// touch records a hit of n bytes at time now.
+func (e *Entry) touch(now time.Time, bytes int) {
+	e.LastUsed = now
+	e.Packets++
+	e.Bytes += uint64(bytes)
+}
+
+// Expired reports whether the entry has idled or hard-expired at now,
+// and with which FlowRemoved reason.
+func (e *Entry) Expired(now time.Time) (bool, uint8) {
+	if e.HardTimeout > 0 && now.Sub(e.Created) >= e.HardTimeout {
+		return true, zof.RemovedHardTimeout
+	}
+	if e.IdleTimeout > 0 && now.Sub(e.LastUsed) >= e.IdleTimeout {
+		return true, zof.RemovedIdleTimeout
+	}
+	return false, 0
+}
+
+// Table is the authoritative flow table: entries ordered by descending
+// priority (stable within equal priority), linear lookup. It is not
+// internally locked; the datapath serializes access.
+type Table struct {
+	entries []*Entry
+	maxSize int
+	gen     uint64 // bumped on every mutation; consumed by MicroCache
+
+	Lookups uint64 // total lookups (table stats)
+	Matches uint64 // lookups that hit
+}
+
+// NewTable returns a table bounded at maxSize entries (0 = unbounded).
+func NewTable(maxSize int) *Table {
+	return &Table{maxSize: maxSize}
+}
+
+// Len returns the number of installed entries.
+func (t *Table) Len() int { return len(t.entries) }
+
+// Gen returns the mutation generation, used for cache invalidation.
+func (t *Table) Gen() uint64 { return t.gen }
+
+// Entries returns the live entries in priority order. The slice is owned
+// by the table; callers must not mutate it.
+func (t *Table) Entries() []*Entry { return t.entries }
+
+// Add installs a new entry per OpenFlow FlowAdd: an existing entry with
+// identical match and priority is replaced (counters reset); with
+// checkOverlap set, an entry whose match could overlap an existing one
+// at equal priority is refused.
+func (t *Table) Add(e *Entry, checkOverlap bool, now time.Time) error {
+	e.Created, e.LastUsed = now, now
+	for i, old := range t.entries {
+		if old.Priority == e.Priority && old.Match == e.Match {
+			t.entries[i] = e
+			t.gen++
+			return nil
+		}
+	}
+	if checkOverlap {
+		for _, old := range t.entries {
+			if old.Priority == e.Priority &&
+				(old.Match.Subsumes(&e.Match) || e.Match.Subsumes(&old.Match)) {
+				return ErrOverlap
+			}
+		}
+	}
+	if t.maxSize > 0 && len(t.entries) >= t.maxSize {
+		return ErrTableFull
+	}
+	// Insert keeping descending priority order, after equal priorities.
+	i := sort.Search(len(t.entries), func(i int) bool {
+		return t.entries[i].Priority < e.Priority
+	})
+	t.entries = append(t.entries, nil)
+	copy(t.entries[i+1:], t.entries[i:])
+	t.entries[i] = e
+	t.gen++
+	return nil
+}
+
+// Modify updates the actions (and cookie) of every entry subsumed by m,
+// preserving counters, per OpenFlow FlowModify. It returns the number of
+// entries changed.
+func (t *Table) Modify(m zof.Match, actions []zof.Action, cookie uint64) int {
+	n := 0
+	for _, e := range t.entries {
+		if m.Subsumes(&e.Match) {
+			e.Actions = actions
+			e.Cookie = cookie
+			n++
+		}
+	}
+	if n > 0 {
+		t.gen++
+	}
+	return n
+}
+
+// Delete removes every entry subsumed by m (any priority) and returns
+// the removed entries for FlowRemoved generation.
+func (t *Table) Delete(m zof.Match) []*Entry {
+	return t.deleteIf(func(e *Entry) bool { return m.Subsumes(&e.Match) })
+}
+
+// DeleteStrict removes only the entry whose match and priority are
+// exactly m and priority.
+func (t *Table) DeleteStrict(m zof.Match, priority uint16) []*Entry {
+	return t.deleteIf(func(e *Entry) bool {
+		return e.Priority == priority && e.Match == m
+	})
+}
+
+func (t *Table) deleteIf(pred func(*Entry) bool) []*Entry {
+	var removed []*Entry
+	kept := t.entries[:0]
+	for _, e := range t.entries {
+		if pred(e) {
+			removed = append(removed, e)
+		} else {
+			kept = append(kept, e)
+		}
+	}
+	for i := len(kept); i < len(t.entries); i++ {
+		t.entries[i] = nil
+	}
+	t.entries = kept
+	if len(removed) > 0 {
+		t.gen++
+	}
+	return removed
+}
+
+// Lookup returns the highest-priority entry matching the frame on
+// inPort, updating its counters, or nil. bytes is the frame length for
+// byte counters.
+func (t *Table) Lookup(f *packet.Frame, inPort uint32, bytes int, now time.Time) *Entry {
+	t.Lookups++
+	for _, e := range t.entries {
+		if e.Match.MatchesFrame(f, inPort) {
+			e.touch(now, bytes)
+			t.Matches++
+			return e
+		}
+	}
+	return nil
+}
+
+// Sweep removes all entries expired at now and returns them paired with
+// their FlowRemoved reason.
+func (t *Table) Sweep(now time.Time) []Removed {
+	var out []Removed
+	kept := t.entries[:0]
+	for _, e := range t.entries {
+		if ok, reason := e.Expired(now); ok {
+			out = append(out, Removed{Entry: e, Reason: reason})
+		} else {
+			kept = append(kept, e)
+		}
+	}
+	for i := len(kept); i < len(t.entries); i++ {
+		t.entries[i] = nil
+	}
+	t.entries = kept
+	if len(out) > 0 {
+		t.gen++
+	}
+	return out
+}
+
+// Removed pairs an expired entry with its removal reason.
+type Removed struct {
+	Entry  *Entry
+	Reason uint8
+}
+
+// Stats summarizes the table for a zof table-stats reply.
+func (t *Table) Stats(id uint8) zof.TableStats {
+	return zof.TableStats{
+		TableID:      id,
+		ActiveCount:  uint32(len(t.entries)),
+		LookupCount:  t.Lookups,
+		MatchedCount: t.Matches,
+	}
+}

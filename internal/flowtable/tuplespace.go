@@ -1,0 +1,218 @@
+package flowtable
+
+import (
+	"encoding/binary"
+
+	"repro/internal/packet"
+	"repro/internal/zof"
+)
+
+// tupleShape identifies one mask combination: which fields are tested
+// and with what IP prefix lengths. All rules sharing a shape live in one
+// hash table — the classic tuple space search of Srinivasan et al.
+type tupleShape struct {
+	wildcards uint32
+	srcPlen   uint8
+	dstPlen   uint8
+}
+
+// maskedKey is the concatenation of the tested field values (untested
+// fields zeroed), comparable so it can key a map.
+type maskedKey [33]byte
+
+// TupleSpace is a wildcard-capable flow table with one hash probe per
+// distinct mask shape. Insertion is O(1); lookup is O(#shapes). With the
+// handful of shapes real controllers install, it sits between the exact
+// map and the linear scan — exactly the ordering experiment E2 shows.
+type TupleSpace struct {
+	tuples map[tupleShape]map[maskedKey][]*Entry
+	size   int
+}
+
+// NewTupleSpace returns an empty table.
+func NewTupleSpace() *TupleSpace {
+	return &TupleSpace{tuples: make(map[tupleShape]map[maskedKey][]*Entry)}
+}
+
+// Len returns the number of installed entries.
+func (ts *TupleSpace) Len() int { return ts.size }
+
+// Shapes returns the number of distinct mask shapes.
+func (ts *TupleSpace) Shapes() int { return len(ts.tuples) }
+
+func shapeOf(m *zof.Match) tupleShape {
+	return tupleShape{wildcards: m.Wildcards & zof.WAll, srcPlen: m.SrcPrefix, dstPlen: m.DstPrefix}
+}
+
+// keyOfMatch builds the masked key from a rule's own field values.
+func keyOfMatch(m *zof.Match, s tupleShape) maskedKey {
+	var k maskedKey
+	if s.wildcards&zof.WInPort == 0 {
+		binary.BigEndian.PutUint32(k[0:4], m.InPort)
+	}
+	if s.wildcards&zof.WEthSrc == 0 {
+		copy(k[4:10], m.EthSrc[:])
+	}
+	if s.wildcards&zof.WEthDst == 0 {
+		copy(k[10:16], m.EthDst[:])
+	}
+	if s.wildcards&zof.WEtherType == 0 {
+		binary.BigEndian.PutUint16(k[16:18], m.EtherType)
+	}
+	if s.wildcards&zof.WVLAN == 0 {
+		binary.BigEndian.PutUint16(k[18:20], m.VLAN)
+	}
+	if s.wildcards&zof.WIPProto == 0 {
+		k[20] = m.IPProto
+	}
+	binary.BigEndian.PutUint32(k[21:25], m.IPSrc.Uint32()&maskOf(s.srcPlen))
+	binary.BigEndian.PutUint32(k[25:29], m.IPDst.Uint32()&maskOf(s.dstPlen))
+	if s.wildcards&zof.WTPSrc == 0 {
+		binary.BigEndian.PutUint16(k[29:31], m.TPSrc)
+	}
+	if s.wildcards&zof.WTPDst == 0 {
+		binary.BigEndian.PutUint16(k[31:33], m.TPDst)
+	}
+	return k
+}
+
+func maskOf(plen uint8) uint32 {
+	if plen == 0 {
+		return 0
+	}
+	if plen >= 32 {
+		return ^uint32(0)
+	}
+	return ^uint32(0) << (32 - plen)
+}
+
+// keyOfFrame builds the masked key a frame produces under shape s. The
+// second result is false when the frame lacks a layer the shape tests
+// (e.g. the shape pins a VLAN but the frame is untagged), in which case
+// no rule in the tuple can match.
+func keyOfFrame(f *packet.Frame, inPort uint32, s tupleShape) (maskedKey, bool) {
+	var k maskedKey
+	if s.wildcards&zof.WInPort == 0 {
+		binary.BigEndian.PutUint32(k[0:4], inPort)
+	}
+	if s.wildcards&zof.WEthSrc == 0 {
+		copy(k[4:10], f.Eth.Src[:])
+	}
+	if s.wildcards&zof.WEthDst == 0 {
+		copy(k[10:16], f.Eth.Dst[:])
+	}
+	if s.wildcards&zof.WEtherType == 0 {
+		binary.BigEndian.PutUint16(k[16:18], f.EtherType())
+	}
+	if s.wildcards&zof.WVLAN == 0 {
+		if !f.Has(packet.LayerVLAN) {
+			return k, false
+		}
+		binary.BigEndian.PutUint16(k[18:20], f.VLAN.VLAN)
+	}
+	needIP := s.wildcards&zof.WIPProto == 0 || s.srcPlen > 0 || s.dstPlen > 0
+	if needIP && !f.Has(packet.LayerIPv4) {
+		return k, false
+	}
+	if s.wildcards&zof.WIPProto == 0 {
+		k[20] = f.IPv4.Protocol
+	}
+	if s.srcPlen > 0 {
+		binary.BigEndian.PutUint32(k[21:25], f.IPv4.Src.Uint32()&maskOf(s.srcPlen))
+	}
+	if s.dstPlen > 0 {
+		binary.BigEndian.PutUint32(k[25:29], f.IPv4.Dst.Uint32()&maskOf(s.dstPlen))
+	}
+	if s.wildcards&(zof.WTPSrc|zof.WTPDst) != zof.WTPSrc|zof.WTPDst {
+		var sp, dp uint16
+		switch {
+		case f.Has(packet.LayerTCP):
+			sp, dp = f.TCP.SrcPort, f.TCP.DstPort
+		case f.Has(packet.LayerUDP):
+			sp, dp = f.UDP.SrcPort, f.UDP.DstPort
+		default:
+			return k, false
+		}
+		if s.wildcards&zof.WTPSrc == 0 {
+			binary.BigEndian.PutUint16(k[29:31], sp)
+		}
+		if s.wildcards&zof.WTPDst == 0 {
+			binary.BigEndian.PutUint16(k[31:33], dp)
+		}
+	}
+	return k, true
+}
+
+// Insert installs e. An existing entry with identical match AND
+// priority is replaced — (match, priority) is the OpenFlow rule
+// identity; equal matches at distinct priorities coexist.
+func (ts *TupleSpace) Insert(e *Entry) {
+	s := shapeOf(&e.Match)
+	tuple, ok := ts.tuples[s]
+	if !ok {
+		tuple = make(map[maskedKey][]*Entry)
+		ts.tuples[s] = tuple
+	}
+	k := keyOfMatch(&e.Match, s)
+	bucket := tuple[k]
+	for i, old := range bucket {
+		if old.Priority == e.Priority {
+			bucket[i] = e
+			return
+		}
+	}
+	// Keep the bucket sorted by descending priority so Lookup takes the
+	// head.
+	bucket = append(bucket, e)
+	for i := len(bucket) - 1; i > 0 && bucket[i].Priority > bucket[i-1].Priority; i-- {
+		bucket[i], bucket[i-1] = bucket[i-1], bucket[i]
+	}
+	tuple[k] = bucket
+	ts.size++
+}
+
+// Delete removes the entry with identical match and priority, reporting
+// presence.
+func (ts *TupleSpace) Delete(m *zof.Match, priority uint16) bool {
+	s := shapeOf(m)
+	tuple, ok := ts.tuples[s]
+	if !ok {
+		return false
+	}
+	k := keyOfMatch(m, s)
+	bucket := tuple[k]
+	for i, e := range bucket {
+		if e.Priority == priority && e.Match == *m {
+			bucket = append(bucket[:i], bucket[i+1:]...)
+			if len(bucket) == 0 {
+				delete(tuple, k)
+			} else {
+				tuple[k] = bucket
+			}
+			ts.size--
+			if len(tuple) == 0 {
+				delete(ts.tuples, s)
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// Lookup probes every shape and returns the highest-priority match.
+func (ts *TupleSpace) Lookup(f *packet.Frame, inPort uint32) *Entry {
+	var best *Entry
+	for s, tuple := range ts.tuples {
+		k, ok := keyOfFrame(f, inPort, s)
+		if !ok {
+			continue
+		}
+		if bucket, hit := tuple[k]; hit && len(bucket) > 0 {
+			e := bucket[0]
+			if best == nil || e.Priority > best.Priority {
+				best = e
+			}
+		}
+	}
+	return best
+}

@@ -1,0 +1,248 @@
+package netem
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/packet"
+)
+
+// Host is an emulated end system with a minimal stack: it answers ARP
+// for its address, answers ICMP echo, delivers UDP to a callback, and
+// can originate pings and UDP datagrams with ARP resolution.
+type Host struct {
+	Name string
+	MAC  packet.MAC
+	IP   packet.IPv4Addr
+
+	mu       sync.Mutex
+	tx       func([]byte) bool // toward the attached switch
+	arp      map[packet.IPv4Addr]packet.MAC
+	pending  map[packet.IPv4Addr][]func(packet.MAC) // sends awaiting resolution
+	pingID   uint16
+	pingSeq  uint16
+	pingWait map[pingKey]chan struct{}
+
+	// OnUDP, when set, receives every UDP datagram addressed to the
+	// host. Called without the host lock.
+	OnUDP func(src packet.IPv4Addr, srcPort, dstPort uint16, payload []byte)
+
+	RxFrames atomic.Uint64
+	RxUDP    atomic.Uint64
+	RxBytes  atomic.Uint64
+}
+
+type pingKey struct {
+	ip  packet.IPv4Addr
+	id  uint16
+	seq uint16
+}
+
+// NewHost builds a host; the MAC derives from the IP for readability.
+func NewHost(name string, ip packet.IPv4Addr) *Host {
+	return &Host{
+		Name:     name,
+		MAC:      packet.MACFromUint64(0x020000000000 | uint64(ip.Uint32())),
+		IP:       ip,
+		arp:      make(map[packet.IPv4Addr]packet.MAC),
+		pending:  make(map[packet.IPv4Addr][]func(packet.MAC)),
+		pingWait: make(map[pingKey]chan struct{}),
+	}
+}
+
+// SetTx wires the host's uplink.
+func (h *Host) SetTx(tx func([]byte) bool) {
+	h.mu.Lock()
+	h.tx = tx
+	h.mu.Unlock()
+}
+
+func (h *Host) send(data []byte) {
+	h.mu.Lock()
+	tx := h.tx
+	h.mu.Unlock()
+	if tx != nil {
+		tx(data)
+	}
+}
+
+// Deliver is the host's wire ingress.
+func (h *Host) Deliver(data []byte) {
+	h.RxFrames.Add(1)
+	h.RxBytes.Add(uint64(len(data)))
+	var f packet.Frame
+	if err := packet.Decode(data, &f); err != nil {
+		return
+	}
+	// Only accept frames for us or broadcast/multicast.
+	if f.Eth.Dst != h.MAC && !f.Eth.Dst.IsBroadcast() && !f.Eth.Dst.IsMulticast() {
+		return
+	}
+	switch {
+	case f.Has(packet.LayerARP):
+		h.handleARP(&f.ARP)
+	case f.Has(packet.LayerICMPv4):
+		h.handleICMP(&f)
+	case f.Has(packet.LayerUDP):
+		if f.IPv4.Dst != h.IP {
+			return
+		}
+		h.RxUDP.Add(1)
+		h.learn(f.IPv4.Src, f.Eth.Src)
+		if cb := h.OnUDP; cb != nil {
+			cb(f.IPv4.Src, f.UDP.SrcPort, f.UDP.DstPort, append([]byte(nil), f.Payload...))
+		}
+	}
+}
+
+func (h *Host) handleARP(a *packet.ARP) {
+	h.learn(a.SenderIP, a.SenderHW)
+	if a.Op == packet.ARPRequest && a.TargetIP == h.IP {
+		eth, rep := packet.NewARPReply(h.MAC, h.IP, a)
+		h.send(marshalARP(eth, rep))
+	}
+}
+
+func (h *Host) handleICMP(f *packet.Frame) {
+	if f.IPv4.Dst != h.IP {
+		return
+	}
+	h.learn(f.IPv4.Src, f.Eth.Src)
+	switch f.ICMP.Type {
+	case packet.ICMPv4EchoRequest:
+		b := packet.NewBuffer(128)
+		b.AppendBytes(f.Payload)
+		ic := packet.ICMPv4{Type: packet.ICMPv4EchoReply, ID: f.ICMP.ID, Seq: f.ICMP.Seq}
+		ic.SerializeTo(b)
+		ip := packet.IPv4{TTL: 64, Protocol: packet.ProtoICMP, Src: h.IP, Dst: f.IPv4.Src}
+		ip.SerializeTo(b)
+		eth := packet.Ethernet{Dst: f.Eth.Src, Src: h.MAC, EtherType: packet.EtherTypeIPv4}
+		eth.SerializeTo(b)
+		h.send(b.Bytes())
+	case packet.ICMPv4EchoReply:
+		h.mu.Lock()
+		key := pingKey{f.IPv4.Src, f.ICMP.ID, f.ICMP.Seq}
+		ch, ok := h.pingWait[key]
+		if ok {
+			delete(h.pingWait, key)
+		}
+		h.mu.Unlock()
+		if ok {
+			close(ch)
+		}
+	}
+}
+
+// SeedARP installs a static ARP entry, the emulation counterpart of
+// `arp -s`: useful when a scenario installs purely proactive rules and
+// must not rely on broadcast resolution.
+func (h *Host) SeedARP(ip packet.IPv4Addr, mac packet.MAC) {
+	h.learn(ip, mac)
+}
+
+// learn records an IP-to-MAC binding and releases queued sends.
+func (h *Host) learn(ip packet.IPv4Addr, mac packet.MAC) {
+	h.mu.Lock()
+	h.arp[ip] = mac
+	waiters := h.pending[ip]
+	delete(h.pending, ip)
+	h.mu.Unlock()
+	for _, w := range waiters {
+		w(mac)
+	}
+}
+
+// resolve runs fn with the MAC for ip, ARPing first if unknown. The
+// request is retransmitted every 100ms (up to 30 times) while the
+// resolution is outstanding, like a real host's ARP cache — the first
+// request of a fresh flow often races reactive rule installation.
+func (h *Host) resolve(ip packet.IPv4Addr, fn func(packet.MAC)) {
+	h.mu.Lock()
+	if mac, ok := h.arp[ip]; ok {
+		h.mu.Unlock()
+		fn(mac)
+		return
+	}
+	first := len(h.pending[ip]) == 0
+	h.pending[ip] = append(h.pending[ip], fn)
+	h.mu.Unlock()
+	eth, req := packet.NewARPRequest(h.MAC, h.IP, ip)
+	h.send(marshalARP(eth, req))
+	if !first {
+		return
+	}
+	go func() {
+		for i := 0; i < 30; i++ {
+			time.Sleep(100 * time.Millisecond)
+			h.mu.Lock()
+			outstanding := len(h.pending[ip]) > 0
+			h.mu.Unlock()
+			if !outstanding {
+				return
+			}
+			h.send(marshalARP(eth, req))
+		}
+	}()
+}
+
+func marshalARP(eth packet.Ethernet, arp packet.ARP) []byte {
+	b := packet.NewBuffer(64)
+	arp.SerializeTo(b)
+	eth.SerializeTo(b)
+	return append([]byte(nil), b.Bytes()...)
+}
+
+// SendUDP transmits a datagram to dst, resolving its MAC on demand.
+func (h *Host) SendUDP(dst packet.IPv4Addr, srcPort, dstPort uint16, payload []byte) {
+	data := append([]byte(nil), payload...)
+	h.resolve(dst, func(mac packet.MAC) {
+		b := packet.NewBuffer(128)
+		b.AppendBytes(data)
+		udp := packet.UDP{SrcPort: srcPort, DstPort: dstPort}
+		udp.SerializeToWithChecksum(b, h.IP, dst)
+		ip := packet.IPv4{TTL: 64, Protocol: packet.ProtoUDP, Src: h.IP, Dst: dst}
+		ip.SerializeTo(b)
+		eth := packet.Ethernet{Dst: mac, Src: h.MAC, EtherType: packet.EtherTypeIPv4}
+		eth.SerializeTo(b)
+		h.send(b.Bytes())
+	})
+}
+
+// Ping sends one ICMP echo request to dst and waits for the reply,
+// returning the round-trip time.
+func (h *Host) Ping(ctx context.Context, dst packet.IPv4Addr) (time.Duration, error) {
+	h.mu.Lock()
+	h.pingID++
+	h.pingSeq++
+	id, seq := h.pingID, h.pingSeq
+	ch := make(chan struct{})
+	key := pingKey{dst, id, seq}
+	h.pingWait[key] = ch
+	h.mu.Unlock()
+
+	start := time.Now()
+	h.resolve(dst, func(mac packet.MAC) {
+		b := packet.NewBuffer(128)
+		b.AppendBytes([]byte("zen-ping"))
+		ic := packet.ICMPv4{Type: packet.ICMPv4EchoRequest, ID: id, Seq: seq}
+		ic.SerializeTo(b)
+		ip := packet.IPv4{TTL: 64, Protocol: packet.ProtoICMP, Src: h.IP, Dst: dst}
+		ip.SerializeTo(b)
+		eth := packet.Ethernet{Dst: mac, Src: h.MAC, EtherType: packet.EtherTypeIPv4}
+		eth.SerializeTo(b)
+		h.send(b.Bytes())
+	})
+
+	select {
+	case <-ch:
+		return time.Since(start), nil
+	case <-ctx.Done():
+		h.mu.Lock()
+		delete(h.pingWait, key)
+		h.mu.Unlock()
+		return 0, fmt.Errorf("ping %v: %w", dst, ctx.Err())
+	}
+}

@@ -1,0 +1,161 @@
+// Package netem emulates the physical network the zen platform runs
+// on: links with configurable delay, loss and queue depth joining
+// software switches and emulated hosts. It substitutes for testbed
+// hardware while exercising the identical dataplane and control-plane
+// code paths.
+package netem
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// PipeConfig shapes one direction of a link.
+type PipeConfig struct {
+	Delay    time.Duration // propagation delay per frame
+	LossProb float64       // iid drop probability in [0,1)
+	QueueLen int           // frames buffered before tail drop; default 256
+	Seed     int64         // loss RNG seed (deterministic tests)
+
+	// RateMbps, when positive, serializes frames through a token
+	// bucket at this line rate; BurstBytes tokens (default one MTU,
+	// 1500) may be sent back-to-back.
+	RateMbps   float64
+	BurstBytes int
+}
+
+// Pipe is one direction of a link: a bounded queue, a pump goroutine,
+// and delivery into the far end. Frames overflowing the queue are tail
+// dropped, which is what bounds broadcast storms in looped topologies.
+type Pipe struct {
+	ch      chan []byte
+	quit    chan struct{}
+	deliver func([]byte)
+	cfg     PipeConfig
+	rng     *rand.Rand
+	rngMu   sync.Mutex
+	down    atomic.Bool
+	closed  atomic.Bool
+	wg      sync.WaitGroup
+
+	Sent    atomic.Uint64 // frames accepted into the queue
+	Bytes   atomic.Uint64
+	Dropped atomic.Uint64 // tail + loss + down drops
+}
+
+// NewPipe starts the pump delivering into deliver.
+func NewPipe(cfg PipeConfig, deliver func([]byte)) *Pipe {
+	if cfg.QueueLen <= 0 {
+		cfg.QueueLen = 256
+	}
+	p := &Pipe{
+		ch:      make(chan []byte, cfg.QueueLen),
+		quit:    make(chan struct{}),
+		deliver: deliver,
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+	}
+	p.wg.Add(1)
+	go p.pump()
+	return p
+}
+
+func (p *Pipe) pump() {
+	defer p.wg.Done()
+	// Token bucket state (consumed only by this goroutine).
+	burst := float64(p.cfg.BurstBytes)
+	if burst <= 0 {
+		burst = 1500
+	}
+	tokens := burst
+	bytesPerSec := p.cfg.RateMbps * 1e6 / 8
+	last := time.Now()
+	for {
+		select {
+		case <-p.quit:
+			return
+		case data := <-p.ch:
+			if bytesPerSec > 0 {
+				now := time.Now()
+				tokens += now.Sub(last).Seconds() * bytesPerSec
+				last = now
+				if tokens > burst {
+					tokens = burst
+				}
+				if need := float64(len(data)) - tokens; need > 0 {
+					wait := time.Duration(need / bytesPerSec * float64(time.Second))
+					select {
+					case <-p.quit:
+						return
+					case <-time.After(wait):
+					}
+					now = time.Now()
+					tokens += now.Sub(last).Seconds() * bytesPerSec
+					last = now
+				}
+				tokens -= float64(len(data))
+			}
+			if p.cfg.Delay > 0 {
+				select {
+				case <-p.quit:
+					return
+				case <-time.After(p.cfg.Delay):
+				}
+			}
+			if p.down.Load() {
+				p.Dropped.Add(1)
+				continue
+			}
+			p.deliver(data)
+		}
+	}
+}
+
+// Send enqueues a frame (copying it). Returns false if dropped.
+func (p *Pipe) Send(data []byte) bool {
+	if p.down.Load() || p.closed.Load() {
+		p.Dropped.Add(1)
+		return false
+	}
+	if p.cfg.LossProb > 0 {
+		p.rngMu.Lock()
+		lost := p.rng.Float64() < p.cfg.LossProb
+		p.rngMu.Unlock()
+		if lost {
+			p.Dropped.Add(1)
+			return false
+		}
+	}
+	cp := append([]byte(nil), data...)
+	select {
+	case p.ch <- cp:
+		p.Sent.Add(1)
+		p.Bytes.Add(uint64(len(data)))
+		return true
+	default:
+		p.Dropped.Add(1)
+		return false
+	}
+}
+
+// SetDown marks the direction dead (frames blackholed).
+func (p *Pipe) SetDown(down bool) { p.down.Store(down) }
+
+// Close stops the pump; frames still queued are discarded. The channel
+// itself is never closed so a racing Send can not panic.
+func (p *Pipe) Close() {
+	if p.closed.CompareAndSwap(false, true) {
+		close(p.quit)
+	}
+	p.wg.Wait()
+}
+
+// Drain blocks until the queue momentarily empties — a test aid for
+// letting in-flight frames settle on zero-delay pipes.
+func (p *Pipe) Drain() {
+	for len(p.ch) > 0 {
+		time.Sleep(time.Millisecond)
+	}
+}

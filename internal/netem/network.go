@@ -1,0 +1,222 @@
+package netem
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/dataplane"
+	"repro/internal/packet"
+	"repro/internal/topo"
+)
+
+// Config shapes an emulated network.
+type Config struct {
+	Link      PipeConfig       // applied to every inter-switch link
+	HostLink  PipeConfig       // applied to host uplinks
+	SwitchCfg dataplane.Config // template; DPID is overridden per node
+	TickEvery time.Duration    // flow-timeout sweep period; 0 disables
+}
+
+// Network is an emulated topology: one software switch per graph node,
+// a bidirectional Pipe pair per link, and hosts attached at the edge.
+type Network struct {
+	Graph    *topo.Graph
+	Switches map[topo.NodeID]*dataplane.Switch
+
+	mu        sync.Mutex
+	links     map[topo.LinkKey]*wire
+	hosts     map[string]*Host
+	hostPorts map[string]HostAttachment
+	nextPort  map[topo.NodeID]uint32
+	pipes     []*Pipe
+	stopTick  chan struct{}
+	tickWG    sync.WaitGroup
+}
+
+// wire is the two pipes realizing one graph link.
+type wire struct {
+	key topo.LinkKey
+	ab  *Pipe // A -> B
+	ba  *Pipe // B -> A
+}
+
+// HostAttachment records where a host plugs in.
+type HostAttachment struct {
+	Switch topo.NodeID
+	Port   uint32
+	Host   *Host
+}
+
+// Build realizes the graph as an emulated network. Switch DPIDs equal
+// their node IDs; ports follow the graph's port numbering.
+func Build(g *topo.Graph, cfg Config) *Network {
+	n := &Network{
+		Graph:     g,
+		Switches:  make(map[topo.NodeID]*dataplane.Switch),
+		links:     make(map[topo.LinkKey]*wire),
+		hosts:     make(map[string]*Host),
+		hostPorts: make(map[string]HostAttachment),
+		nextPort:  make(map[topo.NodeID]uint32),
+	}
+	for _, node := range g.Nodes() {
+		sc := cfg.SwitchCfg
+		sc.DPID = uint64(node)
+		n.Switches[node] = dataplane.NewSwitch(sc)
+	}
+	for _, l := range g.Links() {
+		swA, swB := n.Switches[l.A], n.Switches[l.B]
+		pa := swA.AddPort(l.APort, fmt.Sprintf("s%d-eth%d", l.A, l.APort), uint32(l.Capacity))
+		pb := swB.AddPort(l.BPort, fmt.Sprintf("s%d-eth%d", l.B, l.BPort), uint32(l.Capacity))
+		a, b, aport, bport := l.A, l.B, l.APort, l.BPort
+		w := &wire{
+			key: l.Key(),
+			ab:  NewPipe(cfg.Link, func(data []byte) { n.Switches[b].HandleFrame(bport, data) }),
+			ba:  NewPipe(cfg.Link, func(data []byte) { n.Switches[a].HandleFrame(aport, data) }),
+		}
+		pa.SetTx(func(data []byte) { w.ab.Send(data) })
+		pb.SetTx(func(data []byte) { w.ba.Send(data) })
+		n.links[w.key] = w
+		n.pipes = append(n.pipes, w.ab, w.ba)
+		// Track highest used port for host attachment.
+		if l.APort > n.nextPort[l.A] {
+			n.nextPort[l.A] = l.APort
+		}
+		if l.BPort > n.nextPort[l.B] {
+			n.nextPort[l.B] = l.BPort
+		}
+	}
+	if cfg.TickEvery > 0 {
+		n.stopTick = make(chan struct{})
+		n.tickWG.Add(1)
+		go n.ticker(cfg.TickEvery)
+	}
+	return n
+}
+
+func (n *Network) ticker(every time.Duration) {
+	defer n.tickWG.Done()
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-n.stopTick:
+			return
+		case now := <-t.C:
+			for _, sw := range n.Switches {
+				sw.Tick(now)
+			}
+		}
+	}
+}
+
+// AttachHost plugs a new host into switch node with the given IP,
+// using the next free port. The host link uses cfg from Build's
+// HostLink (zero PipeConfig if Build was given none).
+func (n *Network) AttachHost(name string, node topo.NodeID, ip packet.IPv4Addr, cfg PipeConfig) (*Host, error) {
+	sw, ok := n.Switches[node]
+	if !ok {
+		return nil, fmt.Errorf("netem: no switch %d", node)
+	}
+	n.mu.Lock()
+	if _, dup := n.hosts[name]; dup {
+		n.mu.Unlock()
+		return nil, fmt.Errorf("netem: duplicate host %q", name)
+	}
+	n.nextPort[node]++
+	portNo := n.nextPort[node]
+	n.mu.Unlock()
+
+	h := NewHost(name, ip)
+	port := sw.AddPort(portNo, fmt.Sprintf("s%d-%s", node, name), 1000)
+
+	toHost := NewPipe(cfg, h.Deliver)
+	toSwitch := NewPipe(cfg, func(data []byte) { sw.HandleFrame(portNo, data) })
+	port.SetTx(func(data []byte) { toHost.Send(data) })
+	h.SetTx(toSwitch.Send)
+
+	n.mu.Lock()
+	n.hosts[name] = h
+	n.hostPorts[name] = HostAttachment{Switch: node, Port: portNo, Host: h}
+	n.pipes = append(n.pipes, toHost, toSwitch)
+	n.mu.Unlock()
+	return h, nil
+}
+
+// Host returns the named host.
+func (n *Network) Host(name string) (*Host, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	h, ok := n.hosts[name]
+	return h, ok
+}
+
+// Attachment reports where a host connects.
+func (n *Network) Attachment(name string) (HostAttachment, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	a, ok := n.hostPorts[name]
+	return a, ok
+}
+
+// Hosts lists host names.
+func (n *Network) Hosts() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]string, 0, len(n.hosts))
+	for name := range n.hosts {
+		out = append(out, name)
+	}
+	return out
+}
+
+// FailLink takes a link down: both pipes blackhole and both switch
+// ports report link-down (emitting PortStatus to the controller).
+func (n *Network) FailLink(k topo.LinkKey) error {
+	return n.setLink(k, true)
+}
+
+// RestoreLink brings a failed link back.
+func (n *Network) RestoreLink(k topo.LinkKey) error {
+	return n.setLink(k, false)
+}
+
+func (n *Network) setLink(k topo.LinkKey, down bool) error {
+	n.mu.Lock()
+	w, ok := n.links[k]
+	n.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("netem: no link %v", k)
+	}
+	w.ab.SetDown(down)
+	w.ba.SetDown(down)
+	n.Graph.SetLinkDown(k, down)
+	n.Switches[k.A].SetPortDown(k.APort, down)
+	n.Switches[k.B].SetPortDown(k.BPort, down)
+	return nil
+}
+
+// LinkStats returns the frames carried and dropped per direction.
+func (n *Network) LinkStats(k topo.LinkKey) (abSent, abDropped, baSent, baDropped uint64, err error) {
+	n.mu.Lock()
+	w, ok := n.links[k]
+	n.mu.Unlock()
+	if !ok {
+		return 0, 0, 0, 0, fmt.Errorf("netem: no link %v", k)
+	}
+	return w.ab.Sent.Load(), w.ab.Dropped.Load(), w.ba.Sent.Load(), w.ba.Dropped.Load(), nil
+}
+
+// Stop shuts the emulation down, draining in-flight frames.
+func (n *Network) Stop() {
+	if n.stopTick != nil {
+		close(n.stopTick)
+		n.tickWG.Wait()
+	}
+	n.mu.Lock()
+	pipes := append([]*Pipe(nil), n.pipes...)
+	n.mu.Unlock()
+	for _, p := range pipes {
+		p.Close()
+	}
+}

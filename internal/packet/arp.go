@@ -1,0 +1,67 @@
+package packet
+
+import "encoding/binary"
+
+// ARP operation codes.
+const (
+	ARPRequest uint16 = 1
+	ARPReply   uint16 = 2
+)
+
+// ARPHeaderLen is the length of an Ethernet/IPv4 ARP packet.
+const ARPHeaderLen = 28
+
+// ARP is an Ethernet/IPv4 ARP packet (HTYPE=1, PTYPE=0x0800).
+type ARP struct {
+	Op       uint16
+	SenderHW MAC
+	SenderIP IPv4Addr
+	TargetHW MAC
+	TargetIP IPv4Addr
+}
+
+// DecodeFromBytes parses an ARP packet.
+func (a *ARP) DecodeFromBytes(data []byte) ([]byte, error) {
+	if len(data) < ARPHeaderLen {
+		return nil, ErrTruncated
+	}
+	htype := binary.BigEndian.Uint16(data[0:2])
+	ptype := binary.BigEndian.Uint16(data[2:4])
+	hlen, plen := data[4], data[5]
+	if htype != 1 || ptype != EtherTypeIPv4 || hlen != 6 || plen != 4 {
+		return nil, ErrMalformed
+	}
+	a.Op = binary.BigEndian.Uint16(data[6:8])
+	copy(a.SenderHW[:], data[8:14])
+	copy(a.SenderIP[:], data[14:18])
+	copy(a.TargetHW[:], data[18:24])
+	copy(a.TargetIP[:], data[24:28])
+	return data[ARPHeaderLen:], nil
+}
+
+// SerializeTo prepends the packet onto b.
+func (a *ARP) SerializeTo(b *Buffer) {
+	h := b.Prepend(ARPHeaderLen)
+	binary.BigEndian.PutUint16(h[0:2], 1)
+	binary.BigEndian.PutUint16(h[2:4], EtherTypeIPv4)
+	h[4], h[5] = 6, 4
+	binary.BigEndian.PutUint16(h[6:8], a.Op)
+	copy(h[8:14], a.SenderHW[:])
+	copy(h[14:18], a.SenderIP[:])
+	copy(h[18:24], a.TargetHW[:])
+	copy(h[24:28], a.TargetIP[:])
+}
+
+// NewARPRequest builds a broadcast who-has frame ready to serialize.
+func NewARPRequest(srcHW MAC, srcIP, targetIP IPv4Addr) (Ethernet, ARP) {
+	eth := Ethernet{Dst: Broadcast, Src: srcHW, EtherType: EtherTypeARP}
+	arp := ARP{Op: ARPRequest, SenderHW: srcHW, SenderIP: srcIP, TargetIP: targetIP}
+	return eth, arp
+}
+
+// NewARPReply builds a unicast is-at frame answering req.
+func NewARPReply(ownHW MAC, ownIP IPv4Addr, req *ARP) (Ethernet, ARP) {
+	eth := Ethernet{Dst: req.SenderHW, Src: ownHW, EtherType: EtherTypeARP}
+	arp := ARP{Op: ARPReply, SenderHW: ownHW, SenderIP: ownIP, TargetHW: req.SenderHW, TargetIP: req.SenderIP}
+	return eth, arp
+}

@@ -1,0 +1,38 @@
+package packet
+
+// Checksum computes the RFC 1071 internet checksum over data with the
+// given initial partial sum (pass 0 unless folding in a pseudo-header).
+func Checksum(data []byte, initial uint32) uint16 {
+	sum := initial
+	n := len(data)
+	i := 0
+	for ; i+1 < n; i += 2 {
+		sum += uint32(data[i])<<8 | uint32(data[i+1])
+	}
+	if i < n {
+		sum += uint32(data[i]) << 8
+	}
+	for sum > 0xffff {
+		sum = (sum >> 16) + (sum & 0xffff)
+	}
+	return ^uint16(sum)
+}
+
+// pseudoHeaderSum returns the partial checksum of the IPv4 pseudo-header
+// used by TCP and UDP.
+func pseudoHeaderSum(src, dst IPv4Addr, proto uint8, length int) uint32 {
+	var sum uint32
+	sum += uint32(src[0])<<8 | uint32(src[1])
+	sum += uint32(src[2])<<8 | uint32(src[3])
+	sum += uint32(dst[0])<<8 | uint32(dst[1])
+	sum += uint32(dst[2])<<8 | uint32(dst[3])
+	sum += uint32(proto)
+	sum += uint32(length)
+	return sum
+}
+
+// TransportChecksum computes the TCP/UDP checksum of segment (header plus
+// payload, with its checksum field zeroed) carried between src and dst.
+func TransportChecksum(segment []byte, src, dst IPv4Addr, proto uint8) uint16 {
+	return Checksum(segment, pseudoHeaderSum(src, dst, proto, len(segment)))
+}

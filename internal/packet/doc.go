@@ -1,0 +1,13 @@
+// Package packet implements decoding and serialization for the protocol
+// layers the zen platform moves across its emulated wires: Ethernet,
+// 802.1Q VLAN tags, ARP, IPv4, IPv6, ICMPv4, TCP, UDP and LLDP.
+//
+// The design follows the gopacket school: every layer is a plain struct
+// with a DecodeFromBytes method that parses without allocating, and a
+// SerializeTo method that prepends its wire form onto a Buffer so a whole
+// frame is built innermost-layer-first. Decode parses a full frame into a
+// caller-owned Frame, so steady-state decoding allocates nothing.
+//
+// Flow identification mirrors gopacket's Flow/Endpoint idea: FlowKey is a
+// comparable value usable as a map key, with a FastHash for sharding.
+package packet

@@ -1,0 +1,70 @@
+package packet
+
+import "encoding/binary"
+
+// EthernetHeaderLen is the length of an untagged Ethernet II header.
+const EthernetHeaderLen = 14
+
+// Ethernet is an Ethernet II header.
+type Ethernet struct {
+	Dst       MAC
+	Src       MAC
+	EtherType uint16
+}
+
+// DecodeFromBytes parses an Ethernet header and returns the payload.
+func (e *Ethernet) DecodeFromBytes(data []byte) ([]byte, error) {
+	if len(data) < EthernetHeaderLen {
+		return nil, ErrTruncated
+	}
+	copy(e.Dst[:], data[0:6])
+	copy(e.Src[:], data[6:12])
+	e.EtherType = binary.BigEndian.Uint16(data[12:14])
+	return data[EthernetHeaderLen:], nil
+}
+
+// SerializeTo prepends the header onto b.
+func (e *Ethernet) SerializeTo(b *Buffer) {
+	h := b.Prepend(EthernetHeaderLen)
+	copy(h[0:6], e.Dst[:])
+	copy(h[6:12], e.Src[:])
+	binary.BigEndian.PutUint16(h[12:14], e.EtherType)
+}
+
+// Dot1QHeaderLen is the length of an 802.1Q tag (after the TPID).
+const Dot1QHeaderLen = 4
+
+// Dot1Q is an 802.1Q VLAN tag. On the wire it follows the source MAC:
+// 2 bytes TPID (0x8100, carried as the outer EtherType) then TCI and the
+// encapsulated EtherType.
+type Dot1Q struct {
+	Priority  uint8  // PCP, 3 bits
+	DropOK    bool   // DEI
+	VLAN      uint16 // VID, 12 bits
+	EtherType uint16 // encapsulated ethertype
+}
+
+// DecodeFromBytes parses the 4 bytes following a 0x8100 TPID.
+func (d *Dot1Q) DecodeFromBytes(data []byte) ([]byte, error) {
+	if len(data) < Dot1QHeaderLen {
+		return nil, ErrTruncated
+	}
+	tci := binary.BigEndian.Uint16(data[0:2])
+	d.Priority = uint8(tci >> 13)
+	d.DropOK = tci&0x1000 != 0
+	d.VLAN = tci & 0x0fff
+	d.EtherType = binary.BigEndian.Uint16(data[2:4])
+	return data[Dot1QHeaderLen:], nil
+}
+
+// SerializeTo prepends the tag body onto b. The caller must set the outer
+// Ethernet EtherType to EtherTypeVLAN.
+func (d *Dot1Q) SerializeTo(b *Buffer) {
+	h := b.Prepend(Dot1QHeaderLen)
+	tci := uint16(d.Priority)<<13 | d.VLAN&0x0fff
+	if d.DropOK {
+		tci |= 0x1000
+	}
+	binary.BigEndian.PutUint16(h[0:2], tci)
+	binary.BigEndian.PutUint16(h[2:4], d.EtherType)
+}

@@ -1,0 +1,108 @@
+package packet
+
+// FlowKey identifies a flow for exact-match tables and load balancing.
+// It is a comparable value type, so it can key a map directly — the same
+// design pressure that made gopacket use fixed arrays for Endpoints.
+// IPv4 addresses occupy the first four bytes of the 16-byte fields.
+type FlowKey struct {
+	SrcIP     [16]byte
+	DstIP     [16]byte
+	EtherType uint16
+	VLAN      uint16
+	Proto     uint8
+	SrcPort   uint16
+	DstPort   uint16
+}
+
+// ExtractFlowKey derives the flow key from a decoded frame.
+func ExtractFlowKey(f *Frame) FlowKey {
+	var k FlowKey
+	k.EtherType = f.EtherType()
+	if f.Has(LayerVLAN) {
+		k.VLAN = f.VLAN.VLAN
+	}
+	switch {
+	case f.Has(LayerIPv4):
+		copy(k.SrcIP[:4], f.IPv4.Src[:])
+		copy(k.DstIP[:4], f.IPv4.Dst[:])
+		k.Proto = f.IPv4.Protocol
+	case f.Has(LayerIPv6):
+		k.SrcIP = f.IPv6.Src
+		k.DstIP = f.IPv6.Dst
+		k.Proto = f.IPv6.NextHeader
+	case f.Has(LayerARP):
+		copy(k.SrcIP[:4], f.ARP.SenderIP[:])
+		copy(k.DstIP[:4], f.ARP.TargetIP[:])
+	}
+	switch {
+	case f.Has(LayerTCP):
+		k.SrcPort, k.DstPort = f.TCP.SrcPort, f.TCP.DstPort
+	case f.Has(LayerUDP):
+		k.SrcPort, k.DstPort = f.UDP.SrcPort, f.UDP.DstPort
+	case f.Has(LayerICMPv4):
+		k.SrcPort = uint16(f.ICMP.Type)<<8 | uint16(f.ICMP.Code)
+	}
+	return k
+}
+
+// Reverse returns the key of the opposite direction.
+func (k FlowKey) Reverse() FlowKey {
+	k.SrcIP, k.DstIP = k.DstIP, k.SrcIP
+	k.SrcPort, k.DstPort = k.DstPort, k.SrcPort
+	return k
+}
+
+// FastHash returns a 64-bit FNV-1a hash of the key. Like gopacket's
+// FastHash it is symmetric-friendly only via explicit Reverse; distinct
+// directions hash differently, which exact-match tables want.
+func (k FlowKey) FastHash() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(b byte) {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	for _, b := range k.SrcIP {
+		mix(b)
+	}
+	for _, b := range k.DstIP {
+		mix(b)
+	}
+	mix(byte(k.EtherType >> 8))
+	mix(byte(k.EtherType))
+	mix(byte(k.VLAN >> 8))
+	mix(byte(k.VLAN))
+	mix(k.Proto)
+	mix(byte(k.SrcPort >> 8))
+	mix(byte(k.SrcPort))
+	mix(byte(k.DstPort >> 8))
+	mix(byte(k.DstPort))
+	return h
+}
+
+// SymmetricHash hashes both directions of the flow to the same value,
+// the property load balancers need so A->B and B->A shard together.
+// The finalizer mix matters: both directional FNV hashes always share
+// parity (they digest the same byte multiset), so a linear combination
+// would never be odd and any mod-2^k shard would see half the space.
+func (k FlowKey) SymmetricHash() uint64 {
+	a, b := k.FastHash(), k.Reverse().FastHash()
+	if a > b {
+		a, b = b, a
+	}
+	return fmix64(a*0x9e3779b97f4a7c15 + b)
+}
+
+// fmix64 is the MurmurHash3 64-bit finalizer; it avalanches every input
+// bit across the output.
+func fmix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}

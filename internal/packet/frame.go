@@ -1,0 +1,110 @@
+package packet
+
+// Frame is a fully decoded Ethernet frame. Decode fills only the layers
+// present on the wire and records them in Layers; callers check the bit
+// before touching the corresponding field. Reusing one Frame across
+// Decode calls keeps the steady-state decode path allocation-free, the
+// same trick gopacket's DecodingLayerParser plays.
+type Frame struct {
+	Eth     Ethernet
+	VLAN    Dot1Q
+	ARP     ARP
+	IPv4    IPv4
+	IPv6    IPv6
+	ICMP    ICMPv4
+	TCP     TCP
+	UDP     UDP
+	LLDP    LLDP
+	Payload []byte // innermost undecoded bytes, aliasing the input
+	Layers  Layer  // bitmask of decoded layers
+}
+
+// Has reports whether layer l was decoded.
+func (f *Frame) Has(l Layer) bool { return f.Layers&l != 0 }
+
+// EtherType returns the effective ethertype, looking through a VLAN tag.
+func (f *Frame) EtherType() uint16 {
+	if f.Has(LayerVLAN) {
+		return f.VLAN.EtherType
+	}
+	return f.Eth.EtherType
+}
+
+// Decode parses an Ethernet frame into f. It stops gracefully at the
+// first layer it does not understand, leaving the remainder in Payload;
+// it returns an error only for truncated or malformed headers. The
+// Payload and option slices alias data.
+func Decode(data []byte, f *Frame) error {
+	f.Layers = 0
+	f.Payload = nil
+	rest, err := f.Eth.DecodeFromBytes(data)
+	if err != nil {
+		return err
+	}
+	f.Layers |= LayerEthernet
+	et := f.Eth.EtherType
+	if et == EtherTypeVLAN {
+		if rest, err = f.VLAN.DecodeFromBytes(rest); err != nil {
+			return err
+		}
+		f.Layers |= LayerVLAN
+		et = f.VLAN.EtherType
+	}
+	switch et {
+	case EtherTypeARP:
+		if rest, err = f.ARP.DecodeFromBytes(rest); err != nil {
+			return err
+		}
+		f.Layers |= LayerARP
+	case EtherTypeLLDP:
+		if rest, err = f.LLDP.DecodeFromBytes(rest); err != nil {
+			return err
+		}
+		f.Layers |= LayerLLDP
+	case EtherTypeIPv4:
+		if rest, err = f.IPv4.DecodeFromBytes(rest); err != nil {
+			return err
+		}
+		f.Layers |= LayerIPv4
+		rest, err = f.decodeTransport(f.IPv4.Protocol, rest)
+		if err != nil {
+			return err
+		}
+	case EtherTypeIPv6:
+		if rest, err = f.IPv6.DecodeFromBytes(rest); err != nil {
+			return err
+		}
+		f.Layers |= LayerIPv6
+		rest, err = f.decodeTransport(f.IPv6.NextHeader, rest)
+		if err != nil {
+			return err
+		}
+	}
+	if len(rest) > 0 {
+		f.Layers |= LayerPayload
+	}
+	f.Payload = rest
+	return nil
+}
+
+func (f *Frame) decodeTransport(proto uint8, rest []byte) ([]byte, error) {
+	var err error
+	switch proto {
+	case ProtoTCP:
+		if rest, err = f.TCP.DecodeFromBytes(rest); err != nil {
+			return nil, err
+		}
+		f.Layers |= LayerTCP
+	case ProtoUDP:
+		if rest, err = f.UDP.DecodeFromBytes(rest); err != nil {
+			return nil, err
+		}
+		f.Layers |= LayerUDP
+	case ProtoICMP:
+		if rest, err = f.ICMP.DecodeFromBytes(rest); err != nil {
+			return nil, err
+		}
+		f.Layers |= LayerICMPv4
+	}
+	return rest, nil
+}

@@ -1,0 +1,56 @@
+package packet
+
+import "encoding/binary"
+
+// ICMPv4 type codes used by the platform.
+const (
+	ICMPv4EchoReply    uint8 = 0
+	ICMPv4Unreachable  uint8 = 3
+	ICMPv4EchoRequest  uint8 = 8
+	ICMPv4TimeExceeded uint8 = 11
+)
+
+// ICMPv4HeaderLen is the length of the fixed ICMPv4 header.
+const ICMPv4HeaderLen = 8
+
+// ICMPv4 is an ICMPv4 header. For echo messages ID and Seq carry the
+// identifier and sequence number; for other types they carry the unused /
+// type-specific word verbatim.
+type ICMPv4 struct {
+	Type     uint8
+	Code     uint8
+	Checksum uint16
+	ID       uint16
+	Seq      uint16
+}
+
+// DecodeFromBytes parses the header and returns the ICMP payload.
+func (ic *ICMPv4) DecodeFromBytes(data []byte) ([]byte, error) {
+	if len(data) < ICMPv4HeaderLen {
+		return nil, ErrTruncated
+	}
+	ic.Type = data[0]
+	ic.Code = data[1]
+	ic.Checksum = binary.BigEndian.Uint16(data[2:4])
+	ic.ID = binary.BigEndian.Uint16(data[4:6])
+	ic.Seq = binary.BigEndian.Uint16(data[6:8])
+	return data[ICMPv4HeaderLen:], nil
+}
+
+// VerifyChecksum checks the ICMP checksum over data (header+payload).
+func (ic *ICMPv4) VerifyChecksum(data []byte) bool {
+	return Checksum(data, 0) == 0
+}
+
+// SerializeTo prepends the header onto b, computing the checksum over the
+// header plus whatever payload is already in the buffer.
+func (ic *ICMPv4) SerializeTo(b *Buffer) {
+	h := b.Prepend(ICMPv4HeaderLen)
+	h[0] = ic.Type
+	h[1] = ic.Code
+	h[2], h[3] = 0, 0
+	binary.BigEndian.PutUint16(h[4:6], ic.ID)
+	binary.BigEndian.PutUint16(h[6:8], ic.Seq)
+	ic.Checksum = Checksum(b.Bytes(), 0)
+	binary.BigEndian.PutUint16(h[2:4], ic.Checksum)
+}

@@ -1,0 +1,102 @@
+package packet
+
+import "encoding/binary"
+
+// IPv4MinHeaderLen is the length of an option-less IPv4 header.
+const IPv4MinHeaderLen = 20
+
+// IPv4 flag bits (in the Flags field, high 3 bits of the frag word).
+const (
+	IPv4DontFragment  uint8 = 0x2
+	IPv4MoreFragments uint8 = 0x1
+)
+
+// IPv4 is an IPv4 header. Options are preserved verbatim; Length is the
+// total datagram length and is recomputed by SerializeTo.
+type IPv4 struct {
+	TOS        uint8
+	Length     uint16
+	ID         uint16
+	Flags      uint8 // 3 bits
+	FragOffset uint16
+	TTL        uint8
+	Protocol   uint8
+	Checksum   uint16
+	Src        IPv4Addr
+	Dst        IPv4Addr
+	Options    []byte
+}
+
+// HeaderLen returns the header length implied by the options.
+func (ip *IPv4) HeaderLen() int { return IPv4MinHeaderLen + (len(ip.Options)+3)&^3 }
+
+// DecodeFromBytes parses the header and returns the L4 payload, bounded
+// by the total-length field.
+func (ip *IPv4) DecodeFromBytes(data []byte) ([]byte, error) {
+	if len(data) < IPv4MinHeaderLen {
+		return nil, ErrTruncated
+	}
+	if data[0]>>4 != 4 {
+		return nil, ErrMalformed
+	}
+	ihl := int(data[0]&0x0f) * 4
+	if ihl < IPv4MinHeaderLen || ihl > len(data) {
+		return nil, ErrMalformed
+	}
+	ip.TOS = data[1]
+	ip.Length = binary.BigEndian.Uint16(data[2:4])
+	if int(ip.Length) < ihl || int(ip.Length) > len(data) {
+		return nil, ErrMalformed
+	}
+	ip.ID = binary.BigEndian.Uint16(data[4:6])
+	frag := binary.BigEndian.Uint16(data[6:8])
+	ip.Flags = uint8(frag >> 13)
+	ip.FragOffset = frag & 0x1fff
+	ip.TTL = data[8]
+	ip.Protocol = data[9]
+	ip.Checksum = binary.BigEndian.Uint16(data[10:12])
+	copy(ip.Src[:], data[12:16])
+	copy(ip.Dst[:], data[16:20])
+	if ihl > IPv4MinHeaderLen {
+		ip.Options = data[IPv4MinHeaderLen:ihl]
+	} else {
+		ip.Options = nil
+	}
+	return data[ihl:ip.Length], nil
+}
+
+// VerifyChecksum recomputes the header checksum over data (which must
+// start at the IPv4 header) and reports whether it is consistent.
+func (ip *IPv4) VerifyChecksum(data []byte) bool {
+	ihl := int(data[0]&0x0f) * 4
+	if ihl > len(data) {
+		return false
+	}
+	return Checksum(data[:ihl], 0) == 0
+}
+
+// SerializeTo prepends the header onto b, computing Length and Checksum
+// from the current buffer contents (the payload must already be there).
+func (ip *IPv4) SerializeTo(b *Buffer) {
+	opts := (len(ip.Options) + 3) &^ 3
+	hl := IPv4MinHeaderLen + opts
+	total := hl + b.Len()
+	h := b.Prepend(hl)
+	h[0] = 4<<4 | uint8(hl/4)
+	h[1] = ip.TOS
+	binary.BigEndian.PutUint16(h[2:4], uint16(total))
+	binary.BigEndian.PutUint16(h[4:6], ip.ID)
+	binary.BigEndian.PutUint16(h[6:8], uint16(ip.Flags)<<13|ip.FragOffset&0x1fff)
+	h[8] = ip.TTL
+	h[9] = ip.Protocol
+	h[10], h[11] = 0, 0
+	copy(h[12:16], ip.Src[:])
+	copy(h[16:20], ip.Dst[:])
+	for i := IPv4MinHeaderLen; i < hl; i++ {
+		h[i] = 0
+	}
+	copy(h[IPv4MinHeaderLen:], ip.Options)
+	ip.Length = uint16(total)
+	ip.Checksum = Checksum(h[:hl], 0)
+	binary.BigEndian.PutUint16(h[10:12], ip.Checksum)
+}

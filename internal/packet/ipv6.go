@@ -1,0 +1,55 @@
+package packet
+
+import "encoding/binary"
+
+// IPv6HeaderLen is the fixed IPv6 header length.
+const IPv6HeaderLen = 40
+
+// IPv6 is the fixed IPv6 header. Extension headers are left in the
+// payload; NextHeader identifies the first of them (or the transport).
+type IPv6 struct {
+	TrafficClass uint8
+	FlowLabel    uint32 // 20 bits
+	Length       uint16 // payload length
+	NextHeader   uint8
+	HopLimit     uint8
+	Src          IPv6Addr
+	Dst          IPv6Addr
+}
+
+// DecodeFromBytes parses the header and returns the payload bounded by
+// the payload-length field.
+func (ip *IPv6) DecodeFromBytes(data []byte) ([]byte, error) {
+	if len(data) < IPv6HeaderLen {
+		return nil, ErrTruncated
+	}
+	v := binary.BigEndian.Uint32(data[0:4])
+	if v>>28 != 6 {
+		return nil, ErrMalformed
+	}
+	ip.TrafficClass = uint8(v >> 20)
+	ip.FlowLabel = v & 0xfffff
+	ip.Length = binary.BigEndian.Uint16(data[4:6])
+	if int(ip.Length) > len(data)-IPv6HeaderLen {
+		return nil, ErrMalformed
+	}
+	ip.NextHeader = data[6]
+	ip.HopLimit = data[7]
+	copy(ip.Src[:], data[8:24])
+	copy(ip.Dst[:], data[24:40])
+	return data[IPv6HeaderLen : IPv6HeaderLen+int(ip.Length)], nil
+}
+
+// SerializeTo prepends the header onto b, computing Length from the
+// current buffer contents.
+func (ip *IPv6) SerializeTo(b *Buffer) {
+	plen := b.Len()
+	h := b.Prepend(IPv6HeaderLen)
+	binary.BigEndian.PutUint32(h[0:4], 6<<28|uint32(ip.TrafficClass)<<20|ip.FlowLabel&0xfffff)
+	binary.BigEndian.PutUint16(h[4:6], uint16(plen))
+	h[6] = ip.NextHeader
+	h[7] = ip.HopLimit
+	copy(h[8:24], ip.Src[:])
+	copy(h[24:40], ip.Dst[:])
+	ip.Length = uint16(plen)
+}

@@ -1,0 +1,88 @@
+package packet
+
+import "encoding/binary"
+
+// LLDP TLV types used for link discovery.
+const (
+	lldpTLVEnd       = 0
+	lldpTLVChassisID = 1
+	lldpTLVPortID    = 2
+	lldpTLVTTL       = 3
+)
+
+// LLDPMulticast is the nearest-bridge LLDP destination address.
+var LLDPMulticast = MAC{0x01, 0x80, 0xc2, 0x00, 0x00, 0x0e}
+
+// LLDP is the minimal LLDPDU the controller emits for topology discovery:
+// chassis ID (locally assigned, carrying the switch datapath ID), port ID
+// (locally assigned, carrying the port number) and TTL.
+type LLDP struct {
+	ChassisID uint64 // datapath ID of the advertising switch
+	PortID    uint32 // advertising port number
+	TTL       uint16 // seconds
+}
+
+// DecodeFromBytes parses the TLV stream. Unknown TLVs are skipped.
+func (l *LLDP) DecodeFromBytes(data []byte) ([]byte, error) {
+	seen := 0
+	for len(data) >= 2 {
+		hdr := binary.BigEndian.Uint16(data[0:2])
+		typ := int(hdr >> 9)
+		length := int(hdr & 0x1ff)
+		data = data[2:]
+		if length > len(data) {
+			return nil, ErrTruncated
+		}
+		v := data[:length]
+		data = data[length:]
+		switch typ {
+		case lldpTLVEnd:
+			return data, nil
+		case lldpTLVChassisID:
+			// subtype 7 (locally assigned) + 8-byte big-endian DPID
+			if length != 9 || v[0] != 7 {
+				return nil, ErrMalformed
+			}
+			l.ChassisID = binary.BigEndian.Uint64(v[1:9])
+			seen++
+		case lldpTLVPortID:
+			// subtype 7 (locally assigned) + 4-byte big-endian port
+			if length != 5 || v[0] != 7 {
+				return nil, ErrMalformed
+			}
+			l.PortID = binary.BigEndian.Uint32(v[1:5])
+			seen++
+		case lldpTLVTTL:
+			if length != 2 {
+				return nil, ErrMalformed
+			}
+			l.TTL = binary.BigEndian.Uint16(v)
+			seen++
+		}
+	}
+	if seen < 3 {
+		return nil, ErrTruncated
+	}
+	return data, nil
+}
+
+// SerializeTo prepends the LLDPDU onto b.
+func (l *LLDP) SerializeTo(b *Buffer) {
+	// Built back to front: End, TTL, PortID, ChassisID.
+	h := b.Prepend(2) // End TLV
+	binary.BigEndian.PutUint16(h, 0)
+
+	h = b.Prepend(4)
+	binary.BigEndian.PutUint16(h[0:2], uint16(lldpTLVTTL)<<9|2)
+	binary.BigEndian.PutUint16(h[2:4], l.TTL)
+
+	h = b.Prepend(7)
+	binary.BigEndian.PutUint16(h[0:2], uint16(lldpTLVPortID)<<9|5)
+	h[2] = 7
+	binary.BigEndian.PutUint32(h[3:7], l.PortID)
+
+	h = b.Prepend(11)
+	binary.BigEndian.PutUint16(h[0:2], uint16(lldpTLVChassisID)<<9|9)
+	h[2] = 7
+	binary.BigEndian.PutUint64(h[3:11], l.ChassisID)
+}

@@ -1,0 +1,256 @@
+package packet
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// quickCfg bounds the generator sizes so option slices stay within legal
+// header limits.
+var quickCfg = &quick.Config{MaxCount: 200}
+
+func TestQuickEthernetRoundTrip(t *testing.T) {
+	f := func(dst, src MAC, et uint16) bool {
+		in := Ethernet{Dst: dst, Src: src, EtherType: et}
+		b := NewBuffer(32)
+		in.SerializeTo(b)
+		var out Ethernet
+		rest, err := out.DecodeFromBytes(b.Bytes())
+		return err == nil && len(rest) == 0 && out == in
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDot1QRoundTrip(t *testing.T) {
+	f := func(prio uint8, drop bool, vid, et uint16) bool {
+		in := Dot1Q{Priority: prio & 7, DropOK: drop, VLAN: vid & 0x0fff, EtherType: et}
+		b := NewBuffer(16)
+		in.SerializeTo(b)
+		var out Dot1Q
+		rest, err := out.DecodeFromBytes(b.Bytes())
+		return err == nil && len(rest) == 0 && out == in
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickARPRoundTrip(t *testing.T) {
+	f := func(op uint16, shw, thw MAC, sip, tip IPv4Addr) bool {
+		in := ARP{Op: op, SenderHW: shw, SenderIP: sip, TargetHW: thw, TargetIP: tip}
+		b := NewBuffer(32)
+		in.SerializeTo(b)
+		var out ARP
+		rest, err := out.DecodeFromBytes(b.Bytes())
+		return err == nil && len(rest) == 0 && out == in
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickIPv4RoundTrip(t *testing.T) {
+	f := func(tos uint8, id uint16, flags uint8, frag uint16, ttl, proto uint8,
+		src, dst IPv4Addr, payload []byte, nOpts uint8) bool {
+		if len(payload) > 1000 {
+			payload = payload[:1000]
+		}
+		opts := make([]byte, int(nOpts)%40&^3) // multiple of 4, < 40
+		for i := range opts {
+			opts[i] = byte(i)
+		}
+		in := IPv4{TOS: tos, ID: id, Flags: flags & 7, FragOffset: frag & 0x1fff,
+			TTL: ttl, Protocol: proto, Src: src, Dst: dst, Options: opts}
+		b := NewBuffer(64)
+		b.AppendBytes(payload)
+		in.SerializeTo(b)
+		var out IPv4
+		rest, err := out.DecodeFromBytes(b.Bytes())
+		if err != nil || !bytes.Equal(rest, payload) {
+			return false
+		}
+		if !out.VerifyChecksum(b.Bytes()) {
+			return false
+		}
+		// Compare field-by-field; Options nil vs empty are equivalent.
+		return out.TOS == in.TOS && out.ID == in.ID && out.Flags == in.Flags &&
+			out.FragOffset == in.FragOffset && out.TTL == in.TTL &&
+			out.Protocol == in.Protocol && out.Src == in.Src && out.Dst == in.Dst &&
+			bytes.Equal(out.Options, in.Options)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickIPv6RoundTrip(t *testing.T) {
+	f := func(tc uint8, fl uint32, nh, hl uint8, src, dst IPv6Addr, payload []byte) bool {
+		if len(payload) > 1000 {
+			payload = payload[:1000]
+		}
+		in := IPv6{TrafficClass: tc, FlowLabel: fl & 0xfffff, NextHeader: nh,
+			HopLimit: hl, Src: src, Dst: dst}
+		b := NewBuffer(64)
+		b.AppendBytes(payload)
+		in.SerializeTo(b)
+		var out IPv6
+		rest, err := out.DecodeFromBytes(b.Bytes())
+		if err != nil || !bytes.Equal(rest, payload) {
+			return false
+		}
+		in.Length = uint16(len(payload))
+		return out == in
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickTCPRoundTrip(t *testing.T) {
+	f := func(sp, dp uint16, seq, ack uint32, flags uint8, win, urg uint16,
+		payload []byte, nOpts uint8) bool {
+		if len(payload) > 1000 {
+			payload = payload[:1000]
+		}
+		opts := make([]byte, int(nOpts)%20&^3)
+		in := TCP{SrcPort: sp, DstPort: dp, Seq: seq, Ack: ack, Flags: flags & 0x3f,
+			Window: win, Urgent: urg, Options: opts}
+		b := NewBuffer(64)
+		b.AppendBytes(payload)
+		in.SerializeTo(b)
+		var out TCP
+		rest, err := out.DecodeFromBytes(b.Bytes())
+		if err != nil || !bytes.Equal(rest, payload) {
+			return false
+		}
+		return out.SrcPort == in.SrcPort && out.DstPort == in.DstPort &&
+			out.Seq == in.Seq && out.Ack == in.Ack && out.Flags == in.Flags &&
+			out.Window == in.Window && out.Urgent == in.Urgent &&
+			bytes.Equal(out.Options, in.Options)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickUDPRoundTrip(t *testing.T) {
+	f := func(sp, dp uint16, payload []byte) bool {
+		if len(payload) > 1200 {
+			payload = payload[:1200]
+		}
+		in := UDP{SrcPort: sp, DstPort: dp}
+		b := NewBuffer(32)
+		b.AppendBytes(payload)
+		in.SerializeTo(b)
+		var out UDP
+		rest, err := out.DecodeFromBytes(b.Bytes())
+		return err == nil && bytes.Equal(rest, payload) &&
+			out.SrcPort == sp && out.DstPort == dp &&
+			out.Length == uint16(UDPHeaderLen+len(payload))
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickLLDPRoundTrip(t *testing.T) {
+	f := func(chassis uint64, port uint32, ttl uint16) bool {
+		in := LLDP{ChassisID: chassis, PortID: port, TTL: ttl}
+		b := NewBuffer(32)
+		in.SerializeTo(b)
+		var out LLDP
+		_, err := out.DecodeFromBytes(b.Bytes())
+		return err == nil && out == in
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickFullFrameRoundTrip(t *testing.T) {
+	f := func(src, dst MAC, sip, dip IPv4Addr, sp, dp uint16, payload []byte) bool {
+		if len(payload) > 1200 {
+			payload = payload[:1200]
+		}
+		b := NewBuffer(64)
+		b.AppendBytes(payload)
+		udp := UDP{SrcPort: sp, DstPort: dp}
+		udp.SerializeToWithChecksum(b, sip, dip)
+		ip := IPv4{TTL: 64, Protocol: ProtoUDP, Src: sip, Dst: dip}
+		ip.SerializeTo(b)
+		eth := Ethernet{Dst: dst, Src: src, EtherType: EtherTypeIPv4}
+		eth.SerializeTo(b)
+
+		var fr Frame
+		if err := Decode(b.Bytes(), &fr); err != nil {
+			return false
+		}
+		return fr.Eth == eth && fr.IPv4.Src == sip && fr.IPv4.Dst == dip &&
+			fr.UDP.SrcPort == sp && fr.UDP.DstPort == dp &&
+			bytes.Equal(fr.Payload, payload)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickDecodeNeverPanics feeds random bytes to Decode; the decoder
+// must reject or accept but never panic or read out of bounds.
+func TestQuickDecodeNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var f Frame
+	for i := 0; i < 5000; i++ {
+		n := rng.Intn(200)
+		data := make([]byte, n)
+		rng.Read(data)
+		// Bias some inputs toward valid-looking headers to reach deep paths.
+		if n > 14 && i%3 == 0 {
+			data[12], data[13] = 0x08, 0x00
+			if n > 15 {
+				data[14] = 0x45
+			}
+		}
+		_ = Decode(data, &f)
+	}
+}
+
+func TestQuickChecksumIncremental(t *testing.T) {
+	// Checksum of data with its own checksum folded in verifies to zero.
+	f := func(data []byte) bool {
+		if len(data)%2 == 1 {
+			data = append(data, 0)
+		}
+		if len(data) < 2 {
+			return true
+		}
+		sum := Checksum(data, 0)
+		buf := append([]byte(nil), data...)
+		buf = append(buf, byte(sum>>8), byte(sum))
+		return Checksum(buf, 0) == 0
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Ensure FlowKey is usable as a map key with the distribution FastHash
+// promises (sanity, not statistics).
+func TestFlowKeyHashDispersion(t *testing.T) {
+	seen := map[uint64]bool{}
+	var k FlowKey
+	for i := 0; i < 1000; i++ {
+		k.SrcPort = uint16(i)
+		seen[k.FastHash()] = true
+	}
+	if len(seen) < 990 {
+		t.Errorf("only %d distinct hashes of 1000", len(seen))
+	}
+}
+
+// Type assertion: generated values of named array types work with quick.
+var _ = reflect.TypeOf(MAC{})

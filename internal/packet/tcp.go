@@ -1,0 +1,87 @@
+package packet
+
+import "encoding/binary"
+
+// TCPMinHeaderLen is the length of an option-less TCP header.
+const TCPMinHeaderLen = 20
+
+// TCP flag bits.
+const (
+	TCPFin uint8 = 1 << iota
+	TCPSyn
+	TCPRst
+	TCPPsh
+	TCPAck
+	TCPUrg
+)
+
+// TCP is a TCP header. Options are preserved verbatim and padded to a
+// 4-byte boundary on serialization.
+type TCP struct {
+	SrcPort  uint16
+	DstPort  uint16
+	Seq      uint32
+	Ack      uint32
+	Flags    uint8
+	Window   uint16
+	Checksum uint16
+	Urgent   uint16
+	Options  []byte
+}
+
+// DecodeFromBytes parses the header and returns the segment payload.
+func (t *TCP) DecodeFromBytes(data []byte) ([]byte, error) {
+	if len(data) < TCPMinHeaderLen {
+		return nil, ErrTruncated
+	}
+	off := int(data[12]>>4) * 4
+	if off < TCPMinHeaderLen || off > len(data) {
+		return nil, ErrMalformed
+	}
+	t.SrcPort = binary.BigEndian.Uint16(data[0:2])
+	t.DstPort = binary.BigEndian.Uint16(data[2:4])
+	t.Seq = binary.BigEndian.Uint32(data[4:8])
+	t.Ack = binary.BigEndian.Uint32(data[8:12])
+	t.Flags = data[13] & 0x3f
+	t.Window = binary.BigEndian.Uint16(data[14:16])
+	t.Checksum = binary.BigEndian.Uint16(data[16:18])
+	t.Urgent = binary.BigEndian.Uint16(data[18:20])
+	if off > TCPMinHeaderLen {
+		t.Options = data[TCPMinHeaderLen:off]
+	} else {
+		t.Options = nil
+	}
+	return data[off:], nil
+}
+
+// SerializeTo prepends the header onto b. If src/dst are supplied via
+// SerializeToWithChecksum the checksum is computed; plain SerializeTo
+// leaves it zero (the emulator's lossless wires do not require it).
+func (t *TCP) SerializeTo(b *Buffer) {
+	opts := (len(t.Options) + 3) &^ 3
+	hl := TCPMinHeaderLen + opts
+	h := b.Prepend(hl)
+	binary.BigEndian.PutUint16(h[0:2], t.SrcPort)
+	binary.BigEndian.PutUint16(h[2:4], t.DstPort)
+	binary.BigEndian.PutUint32(h[4:8], t.Seq)
+	binary.BigEndian.PutUint32(h[8:12], t.Ack)
+	h[12] = uint8(hl/4) << 4
+	h[13] = t.Flags & 0x3f
+	binary.BigEndian.PutUint16(h[14:16], t.Window)
+	h[16], h[17] = 0, 0
+	binary.BigEndian.PutUint16(h[18:20], t.Urgent)
+	for i := TCPMinHeaderLen; i < hl; i++ {
+		h[i] = 0
+	}
+	copy(h[TCPMinHeaderLen:], t.Options)
+	t.Checksum = 0
+}
+
+// SerializeToWithChecksum prepends the header and fills in the checksum
+// using the IPv4 pseudo-header for src/dst.
+func (t *TCP) SerializeToWithChecksum(b *Buffer, src, dst IPv4Addr) {
+	t.SerializeTo(b)
+	seg := b.Bytes()
+	t.Checksum = TransportChecksum(seg, src, dst, ProtoTCP)
+	binary.BigEndian.PutUint16(seg[16:18], t.Checksum)
+}

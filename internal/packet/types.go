@@ -1,0 +1,143 @@
+package packet
+
+import (
+	"errors"
+	"fmt"
+)
+
+// MAC is a 48-bit Ethernet hardware address.
+type MAC [6]byte
+
+// Broadcast is the all-ones Ethernet broadcast address.
+var Broadcast = MAC{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}
+
+// IsBroadcast reports whether m is the broadcast address.
+func (m MAC) IsBroadcast() bool { return m == Broadcast }
+
+// IsMulticast reports whether m has the group bit set.
+func (m MAC) IsMulticast() bool { return m[0]&1 == 1 }
+
+// String renders m in the canonical colon-separated form.
+func (m MAC) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", m[0], m[1], m[2], m[3], m[4], m[5])
+}
+
+// MACFromUint64 builds a MAC from the low 48 bits of v. It is the inverse
+// of Uint64 and is handy for generating stable per-host addresses.
+func MACFromUint64(v uint64) MAC {
+	var m MAC
+	for i := 5; i >= 0; i-- {
+		m[i] = byte(v)
+		v >>= 8
+	}
+	return m
+}
+
+// Uint64 returns m as an integer with the first byte most significant.
+func (m MAC) Uint64() uint64 {
+	var v uint64
+	for _, b := range m {
+		v = v<<8 | uint64(b)
+	}
+	return v
+}
+
+// IPv4Addr is a 32-bit IPv4 address in network byte order.
+type IPv4Addr [4]byte
+
+// String renders a in dotted-quad form.
+func (a IPv4Addr) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", a[0], a[1], a[2], a[3])
+}
+
+// Uint32 returns a as a big-endian integer.
+func (a IPv4Addr) Uint32() uint32 {
+	return uint32(a[0])<<24 | uint32(a[1])<<16 | uint32(a[2])<<8 | uint32(a[3])
+}
+
+// IPv4FromUint32 builds an address from a big-endian integer.
+func IPv4FromUint32(v uint32) IPv4Addr {
+	return IPv4Addr{byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)}
+}
+
+// IPv6Addr is a 128-bit IPv6 address.
+type IPv6Addr [16]byte
+
+// String renders a as eight colon-separated hex groups (no zero
+// compression; unambiguous and cheap).
+func (a IPv6Addr) String() string {
+	return fmt.Sprintf("%x:%x:%x:%x:%x:%x:%x:%x",
+		uint16(a[0])<<8|uint16(a[1]), uint16(a[2])<<8|uint16(a[3]),
+		uint16(a[4])<<8|uint16(a[5]), uint16(a[6])<<8|uint16(a[7]),
+		uint16(a[8])<<8|uint16(a[9]), uint16(a[10])<<8|uint16(a[11]),
+		uint16(a[12])<<8|uint16(a[13]), uint16(a[14])<<8|uint16(a[15]))
+}
+
+// EtherType values understood by the decoder.
+const (
+	EtherTypeIPv4 uint16 = 0x0800
+	EtherTypeARP  uint16 = 0x0806
+	EtherTypeVLAN uint16 = 0x8100
+	EtherTypeIPv6 uint16 = 0x86dd
+	EtherTypeLLDP uint16 = 0x88cc
+)
+
+// IP protocol numbers understood by the decoder.
+const (
+	ProtoICMP   uint8 = 1
+	ProtoTCP    uint8 = 6
+	ProtoUDP    uint8 = 17
+	ProtoICMPv6 uint8 = 58
+)
+
+// Layer identifies one protocol layer within a decoded frame.
+type Layer uint16
+
+// Layer bits set in Frame.Layers after a successful Decode.
+const (
+	LayerEthernet Layer = 1 << iota
+	LayerVLAN
+	LayerARP
+	LayerIPv4
+	LayerIPv6
+	LayerICMPv4
+	LayerTCP
+	LayerUDP
+	LayerLLDP
+	LayerPayload
+)
+
+// String names the layer bit (single bits only).
+func (l Layer) String() string {
+	switch l {
+	case LayerEthernet:
+		return "Ethernet"
+	case LayerVLAN:
+		return "VLAN"
+	case LayerARP:
+		return "ARP"
+	case LayerIPv4:
+		return "IPv4"
+	case LayerIPv6:
+		return "IPv6"
+	case LayerICMPv4:
+		return "ICMPv4"
+	case LayerTCP:
+		return "TCP"
+	case LayerUDP:
+		return "UDP"
+	case LayerLLDP:
+		return "LLDP"
+	case LayerPayload:
+		return "Payload"
+	}
+	return fmt.Sprintf("Layer(%#x)", uint16(l))
+}
+
+// Decode errors. ErrTruncated is returned whenever the input is shorter
+// than a header demands; ErrMalformed covers internally inconsistent
+// headers (bad IHL, bad version, length fields pointing outside the data).
+var (
+	ErrTruncated = errors.New("packet: truncated input")
+	ErrMalformed = errors.New("packet: malformed header")
+)

@@ -1,0 +1,56 @@
+package packet
+
+import "encoding/binary"
+
+// UDPHeaderLen is the UDP header length.
+const UDPHeaderLen = 8
+
+// UDP is a UDP header. Length is recomputed by SerializeTo.
+type UDP struct {
+	SrcPort  uint16
+	DstPort  uint16
+	Length   uint16
+	Checksum uint16
+}
+
+// DecodeFromBytes parses the header and returns the datagram payload,
+// bounded by the length field.
+func (u *UDP) DecodeFromBytes(data []byte) ([]byte, error) {
+	if len(data) < UDPHeaderLen {
+		return nil, ErrTruncated
+	}
+	u.SrcPort = binary.BigEndian.Uint16(data[0:2])
+	u.DstPort = binary.BigEndian.Uint16(data[2:4])
+	u.Length = binary.BigEndian.Uint16(data[4:6])
+	u.Checksum = binary.BigEndian.Uint16(data[6:8])
+	if int(u.Length) < UDPHeaderLen || int(u.Length) > len(data) {
+		return nil, ErrMalformed
+	}
+	return data[UDPHeaderLen:u.Length], nil
+}
+
+// SerializeTo prepends the header onto b with a zero checksum (legal for
+// IPv4) and Length computed from the buffer contents.
+func (u *UDP) SerializeTo(b *Buffer) {
+	total := UDPHeaderLen + b.Len()
+	h := b.Prepend(UDPHeaderLen)
+	binary.BigEndian.PutUint16(h[0:2], u.SrcPort)
+	binary.BigEndian.PutUint16(h[2:4], u.DstPort)
+	binary.BigEndian.PutUint16(h[4:6], uint16(total))
+	h[6], h[7] = 0, 0
+	u.Length = uint16(total)
+	u.Checksum = 0
+}
+
+// SerializeToWithChecksum prepends the header and fills in the checksum
+// using the IPv4 pseudo-header for src/dst.
+func (u *UDP) SerializeToWithChecksum(b *Buffer, src, dst IPv4Addr) {
+	u.SerializeTo(b)
+	seg := b.Bytes()
+	sum := TransportChecksum(seg, src, dst, ProtoUDP)
+	if sum == 0 {
+		sum = 0xffff // RFC 768: transmitted as all ones
+	}
+	u.Checksum = sum
+	binary.BigEndian.PutUint16(seg[6:8], sum)
+}

@@ -1,0 +1,66 @@
+package te
+
+import (
+	"repro/internal/topo"
+	"repro/internal/workload"
+)
+
+// SolveShortestPath models "current practice" WAN routing: every
+// commodity rides its single shortest path at full demand; where links
+// oversubscribe, all flows crossing the bottleneck are throttled to
+// their proportional share. No coordination, no splitting — the
+// baseline B4 and SWAN report roughly 30-60% utilization against.
+func SolveShortestPath(g *topo.Graph, demands workload.Matrix, headroom float64) *Allocation {
+	cap_ := make(map[topo.LinkKey]float64)
+	for _, l := range g.Links() {
+		if !l.Down {
+			cap_[l.Key()] = l.Capacity * (1 - headroom)
+		}
+	}
+	offered := make(map[topo.LinkKey]float64)
+
+	type routed struct {
+		alloc CommodityAlloc
+		links []topo.LinkKey
+	}
+	var rs []routed
+	for _, d := range demands {
+		r := routed{alloc: CommodityAlloc{Demand: d}}
+		if p, ok := g.ShortestPath(d.Src, d.Dst); ok {
+			if links, lok := g.PathLinks(p); lok {
+				for _, l := range links {
+					r.links = append(r.links, l.Key())
+					offered[l.Key()] += d.Rate
+				}
+				r.alloc.Paths = []PathAlloc{{Path: p}}
+			}
+		}
+		rs = append(rs, r)
+	}
+
+	// Deliverable fraction of each commodity: the worst capacity share
+	// along its path. This models per-bottleneck proportional loss
+	// (an optimistic stand-in for TCP's share at each constraint).
+	load := make(map[topo.LinkKey]float64)
+	out := &Allocation{LinkLoad: load, LinkCap: cap_}
+	for _, r := range rs {
+		frac := 1.0
+		for _, k := range r.links {
+			if offered[k] > cap_[k] && offered[k] > 0 {
+				if share := cap_[k] / offered[k]; share < frac {
+					frac = share
+				}
+			}
+		}
+		granted := r.alloc.Demand.Rate * frac
+		if len(r.alloc.Paths) == 1 {
+			r.alloc.Paths[0].Rate = granted
+			r.alloc.Allocated = granted
+			for _, k := range r.links {
+				load[k] += granted
+			}
+		}
+		out.Commodities = append(out.Commodities, r.alloc)
+	}
+	return out
+}

@@ -1,0 +1,227 @@
+package te
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/topo"
+	"repro/internal/workload"
+)
+
+func almost(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestSolveSingleBottleneck(t *testing.T) {
+	// Two commodities share one 100 Mbps link: max-min gives 50/50.
+	g := topo.Linear(2, 100)
+	demands := workload.Matrix{
+		{Src: 1, Dst: 2, Rate: 80},
+		{Src: 2, Dst: 1, Rate: 80},
+	}
+	// NB: the two directions share the undirected link capacity in this
+	// model, so each gets 50.
+	a, err := Solve(g, demands, Config{KPaths: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(a.TotalAllocated(), 100, 1.7) {
+		t.Fatalf("total allocated = %v", a.TotalAllocated())
+	}
+	s0, s1 := a.Commodities[0].Satisfaction(), a.Commodities[1].Satisfaction()
+	if math.Abs(s0-s1) > 0.05 {
+		t.Errorf("unfair split: %v vs %v", s0, s1)
+	}
+	if a.MaxUtilization() > 1.0001 {
+		t.Errorf("over capacity: %v", a.MaxUtilization())
+	}
+}
+
+func TestSolveUsesMultiplePaths(t *testing.T) {
+	// Diamond with unit-capacity edges: one commodity of 2 units can be
+	// fully served only by splitting across both 2-hop paths.
+	g := topo.New()
+	g.AddLink(topo.Link{A: 1, B: 2, APort: 1, BPort: 1, Capacity: 1})
+	g.AddLink(topo.Link{A: 2, B: 4, APort: 2, BPort: 1, Capacity: 1})
+	g.AddLink(topo.Link{A: 1, B: 3, APort: 2, BPort: 1, Capacity: 1})
+	g.AddLink(topo.Link{A: 3, B: 4, APort: 2, BPort: 2, Capacity: 1})
+	demands := workload.Matrix{{Src: 1, Dst: 4, Rate: 2}}
+
+	a, err := Solve(g, demands, Config{KPaths: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := a.Commodities[0]
+	if !almost(c.Allocated, 2, 0.05) {
+		t.Fatalf("allocated = %v, want ~2", c.Allocated)
+	}
+	if len(c.Paths) != 2 {
+		t.Fatalf("used %d paths, want 2", len(c.Paths))
+	}
+	// Versus the baseline, which can push at most 1 unit on one path.
+	b := SolveShortestPath(g, demands, 0)
+	if b.TotalAllocated() > 1.0001 {
+		t.Fatalf("baseline allocated %v, want <= 1", b.TotalAllocated())
+	}
+	if a.TotalAllocated() < 1.8*b.TotalAllocated() {
+		t.Errorf("TE should roughly double the baseline here: %v vs %v",
+			a.TotalAllocated(), b.TotalAllocated())
+	}
+}
+
+func TestSolveRespectsCapacityInvariant(t *testing.T) {
+	g, _ := topo.WAN(1000)
+	demands := workload.Gravity(g, 15000, 5)
+	a, err := Solve(g, demands, Config{KPaths: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, load := range a.LinkLoad {
+		if load > a.LinkCap[k]*1.0001 {
+			t.Fatalf("link %v overloaded: %v > %v", k, load, a.LinkCap[k])
+		}
+	}
+	// No commodity exceeds its demand.
+	for _, c := range a.Commodities {
+		if c.Allocated > c.Demand.Rate*1.0001 {
+			t.Fatalf("overallocation: %v > %v", c.Allocated, c.Demand.Rate)
+		}
+	}
+}
+
+func TestSolveHeadroom(t *testing.T) {
+	g := topo.Linear(2, 100)
+	demands := workload.Matrix{{Src: 1, Dst: 2, Rate: 1000}}
+	a, err := Solve(g, demands, Config{KPaths: 1, Headroom: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(a.TotalAllocated(), 90, 1.5) {
+		t.Errorf("allocated %v, want ~90 with 10%% headroom", a.TotalAllocated())
+	}
+	if _, err := Solve(g, demands, Config{Headroom: 1.5}); err == nil {
+		t.Error("bad headroom accepted")
+	}
+}
+
+func TestSolveMaxMinFairnessProperty(t *testing.T) {
+	// On the WAN with saturating demand, no unsatisfied commodity
+	// should still see meaningful residual capacity on any of its
+	// paths (the max-min stopping condition).
+	g, _ := topo.WAN(1000)
+	demands := workload.Gravity(g, 50000, 11) // heavy oversubscription
+	a, err := Solve(g, demands, Config{KPaths: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	quantum := 0.01 * maxRate(demands)
+	if v := a.MaxMinViolation(); v > 2*quantum {
+		t.Errorf("max-min violation %v exceeds tolerance %v", v, 2*quantum)
+	}
+}
+
+func maxRate(m workload.Matrix) float64 {
+	var x float64
+	for _, d := range m {
+		if d.Rate > x {
+			x = d.Rate
+		}
+	}
+	return x
+}
+
+func TestTEOutperformsBaselineUnderLoad(t *testing.T) {
+	// The headline E3 shape: on the WAN at heavy load, TE delivers
+	// substantially more than shortest-path routing.
+	g, _ := topo.WAN(1000)
+	demands := workload.Gravity(g, 20000, 3)
+	teAlloc, err := Solve(g, demands, Config{KPaths: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := SolveShortestPath(g, demands, 0)
+	if teAlloc.TotalAllocated() < 1.15*base.TotalAllocated() {
+		t.Errorf("TE %v vs baseline %v: expected >= 1.15x gain",
+			teAlloc.TotalAllocated(), base.TotalAllocated())
+	}
+	// TE drives utilization higher (that is the point).
+	if teAlloc.MeanUtilization() <= base.MeanUtilization() {
+		t.Errorf("TE mean utilization %v <= baseline %v",
+			teAlloc.MeanUtilization(), base.MeanUtilization())
+	}
+}
+
+func TestBaselineThrottlesAtBottleneck(t *testing.T) {
+	// 3 commodities, all across the same 100 link: each delivered 1/3.
+	g := topo.Linear(2, 100)
+	demands := workload.Matrix{
+		{Src: 1, Dst: 2, Rate: 100},
+		{Src: 1, Dst: 2, Rate: 100},
+		{Src: 1, Dst: 2, Rate: 100},
+	}
+	b := SolveShortestPath(g, demands, 0)
+	for _, c := range b.Commodities {
+		if !almost(c.Allocated, 100.0/3, 0.01) {
+			t.Fatalf("allocated %v, want 33.3", c.Allocated)
+		}
+	}
+	if b.DeliveredFraction() > 0.34 {
+		t.Errorf("delivered = %v", b.DeliveredFraction())
+	}
+}
+
+func TestQuantizeSplits(t *testing.T) {
+	c := CommodityAlloc{
+		Demand:    workload.Demand{Rate: 10},
+		Allocated: 10,
+		Paths: []PathAlloc{
+			{Rate: 5},
+			{Rate: 3},
+			{Rate: 2},
+		},
+	}
+	w := QuantizeSplits(c, 10)
+	if len(w) != 3 || w[0] != 5 || w[1] != 3 || w[2] != 2 {
+		t.Fatalf("weights = %v", w)
+	}
+	// Weights always sum to denom.
+	for _, denom := range []int{1, 2, 4, 7, 64} {
+		w := QuantizeSplits(c, denom)
+		sum := 0
+		for _, x := range w {
+			sum += x
+		}
+		if sum != denom {
+			t.Fatalf("denom %d: sum = %d (%v)", denom, sum, w)
+		}
+	}
+	if QuantizeSplits(CommodityAlloc{}, 4) != nil {
+		t.Error("empty commodity should quantize to nil")
+	}
+}
+
+func TestSolveDisconnected(t *testing.T) {
+	g := topo.New()
+	g.AddNode(1)
+	g.AddNode(2) // no links
+	demands := workload.Matrix{{Src: 1, Dst: 2, Rate: 10}}
+	a, err := Solve(g, demands, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalAllocated() != 0 {
+		t.Errorf("allocated %v over no links", a.TotalAllocated())
+	}
+	if a.DeliveredFraction() != 0 {
+		t.Errorf("delivered = %v", a.DeliveredFraction())
+	}
+}
+
+func TestSolveZeroDemand(t *testing.T) {
+	g := topo.Linear(2, 100)
+	a, err := Solve(g, workload.Matrix{}, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.DeliveredFraction() != 1 || a.MaxUtilization() != 0 {
+		t.Errorf("empty alloc = %v/%v", a.DeliveredFraction(), a.MaxUtilization())
+	}
+}

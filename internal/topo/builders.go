@@ -1,0 +1,187 @@
+package topo
+
+import "fmt"
+
+// Builders for canonical evaluation topologies. Node IDs start at 1.
+// Port numbering is deterministic: ports are assigned in the order links
+// are attached to a node, starting at 1, so emulator and controller
+// agree on the wiring without negotiation.
+
+// builder tracks the next free port per node.
+type builder struct {
+	g    *Graph
+	next map[NodeID]uint32
+}
+
+func newBuilder() *builder {
+	return &builder{g: New(), next: map[NodeID]uint32{}}
+}
+
+func (b *builder) port(n NodeID) uint32 {
+	b.next[n]++
+	return b.next[n]
+}
+
+func (b *builder) link(a, z NodeID, capacity float64) {
+	b.g.AddLink(Link{A: a, B: z, APort: b.port(a), BPort: b.port(z), Capacity: capacity, Metric: 1})
+}
+
+// Linear builds s1 - s2 - ... - sn.
+func Linear(n int, capacity float64) *Graph {
+	b := newBuilder()
+	for i := 1; i <= n; i++ {
+		b.g.AddNode(NodeID(i))
+	}
+	for i := 1; i < n; i++ {
+		b.link(NodeID(i), NodeID(i+1), capacity)
+	}
+	return b.g
+}
+
+// Ring builds a cycle of n switches.
+func Ring(n int, capacity float64) *Graph {
+	g := Linear(n, capacity)
+	if n > 2 {
+		// Close the ring with fresh ports on both ends.
+		b := &builder{g: g, next: map[NodeID]uint32{}}
+		// Recover used ports: end nodes have 1 used, middles 2.
+		for _, node := range g.Nodes() {
+			b.next[node] = uint32(len(g.Neighbors(node)))
+		}
+		b.link(NodeID(n), NodeID(1), capacity)
+	}
+	return g
+}
+
+// Star builds a hub (node 1) with n-1 leaves.
+func Star(n int, capacity float64) *Graph {
+	b := newBuilder()
+	b.g.AddNode(1)
+	for i := 2; i <= n; i++ {
+		b.link(1, NodeID(i), capacity)
+	}
+	return b.g
+}
+
+// Tree builds a complete fanout-ary tree of the given depth (depth 0 is
+// a single root). Returns the graph and the leaf node IDs.
+func Tree(depth, fanout int, capacity float64) (*Graph, []NodeID) {
+	b := newBuilder()
+	id := NodeID(1)
+	b.g.AddNode(id)
+	level := []NodeID{id}
+	var leaves []NodeID
+	for d := 0; d < depth; d++ {
+		var next []NodeID
+		for _, parent := range level {
+			for f := 0; f < fanout; f++ {
+				id++
+				b.link(parent, id, capacity)
+				next = append(next, id)
+			}
+		}
+		level = next
+	}
+	leaves = level
+	return b.g, leaves
+}
+
+// FatTree builds a k-ary fat-tree (k even): (k/2)^2 cores, k pods of
+// k/2 aggregation and k/2 edge switches. Returns the graph and the edge
+// (ToR) switches, where hosts attach.
+func FatTree(k int, capacity float64) (*Graph, []NodeID, error) {
+	if k < 2 || k%2 != 0 {
+		return nil, nil, fmt.Errorf("topo: fat-tree arity %d must be even and >= 2", k)
+	}
+	b := newBuilder()
+	half := k / 2
+	numCore := half * half
+	id := NodeID(0)
+	core := make([]NodeID, numCore)
+	for i := range core {
+		id++
+		core[i] = id
+		b.g.AddNode(id)
+	}
+	var edges []NodeID
+	for p := 0; p < k; p++ {
+		agg := make([]NodeID, half)
+		for i := range agg {
+			id++
+			agg[i] = id
+			b.g.AddNode(id)
+		}
+		edge := make([]NodeID, half)
+		for i := range edge {
+			id++
+			edge[i] = id
+			b.g.AddNode(id)
+			for _, a := range agg {
+				b.link(a, edge[i], capacity)
+			}
+		}
+		// Aggregation i connects to core group i.
+		for i, a := range agg {
+			for j := 0; j < half; j++ {
+				b.link(core[i*half+j], a, capacity)
+			}
+		}
+		edges = append(edges, edge...)
+	}
+	return b.g, edges, nil
+}
+
+// WANSite describes one site of the reference wide-area topology.
+type WANSite struct {
+	ID   NodeID
+	Name string
+}
+
+// WAN builds the 12-site reference wide-area graph used by the traffic
+// engineering experiments — a B4-flavored continental backbone: three
+// dense metro triangles (west, central, east) bridged by long-haul
+// links, with capacity in Mbps on every link.
+func WAN(capacity float64) (*Graph, []WANSite) {
+	sites := []WANSite{
+		{1, "sea"}, {2, "sfo"}, {3, "lax"}, // west triangle
+		{4, "slc"}, {5, "den"}, {6, "dfw"}, // central triangle
+		{7, "chi"}, {8, "atl"}, {9, "iad"}, // east triangle
+		{10, "nyc"}, {11, "bos"}, {12, "mia"},
+	}
+	b := newBuilder()
+	for _, s := range sites {
+		b.g.AddNode(s.ID)
+	}
+	// Metrics approximate geographic distance: metro triangles are
+	// cheap, regional long-hauls cost more, transcontinental shortcuts
+	// the most. Uncoordinated shortest-path routing therefore piles
+	// onto the few cheap routes while the expensive-but-capacious
+	// alternates idle — the stranded capacity centralized TE recovers.
+	pairs := []struct {
+		a, b   NodeID
+		metric float64
+	}{
+		// west metro
+		{1, 2, 1}, {2, 3, 1}, {1, 3, 1},
+		// central metro
+		{4, 5, 1}, {5, 6, 1}, {4, 6, 1},
+		// east core metro
+		{7, 8, 1}, {8, 9, 1}, {7, 9, 1},
+		// northeast metro
+		{9, 10, 1}, {10, 11, 1}, {9, 11, 1},
+		// southeast spurs
+		{8, 12, 2}, {9, 12, 2},
+		// west-central long-haul
+		{1, 4, 3}, {2, 4, 3}, {3, 6, 4},
+		// central-east long-haul
+		{5, 7, 3}, {6, 8, 4}, {4, 7, 3},
+		// transcontinental shortcuts
+		{2, 7, 8}, {3, 8, 9},
+	}
+	for _, p := range pairs {
+		port := func(n NodeID) uint32 { b.next[n]++; return b.next[n] }
+		b.g.AddLink(Link{A: p.a, B: p.b, APort: port(p.a), BPort: port(p.b),
+			Capacity: capacity, Metric: p.metric})
+	}
+	return b.g, sites
+}

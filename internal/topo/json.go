@@ -1,0 +1,57 @@
+package topo
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// fileFormat is the on-disk JSON topology schema cmd/topogen emits and
+// cmd/zend consumes.
+type fileFormat struct {
+	Nodes []NodeID   `json:"nodes"`
+	Links []linkJSON `json:"links"`
+}
+
+type linkJSON struct {
+	A        NodeID  `json:"a"`
+	B        NodeID  `json:"b"`
+	APort    uint32  `json:"aPort"`
+	BPort    uint32  `json:"bPort"`
+	Capacity float64 `json:"capacityMbps"`
+	Metric   float64 `json:"metric,omitempty"`
+}
+
+// WriteJSON serializes the graph.
+func (g *Graph) WriteJSON(w io.Writer) error {
+	ff := fileFormat{Nodes: g.Nodes()}
+	for _, l := range g.Links() {
+		ff.Links = append(ff.Links, linkJSON{
+			A: l.A, B: l.B, APort: l.APort, BPort: l.BPort,
+			Capacity: l.Capacity, Metric: l.Metric,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(ff)
+}
+
+// ReadJSON parses a graph written by WriteJSON.
+func ReadJSON(r io.Reader) (*Graph, error) {
+	var ff fileFormat
+	if err := json.NewDecoder(r).Decode(&ff); err != nil {
+		return nil, fmt.Errorf("topo: decoding JSON: %w", err)
+	}
+	g := New()
+	for _, n := range ff.Nodes {
+		g.AddNode(n)
+	}
+	for _, l := range ff.Links {
+		if !g.HasNode(l.A) || !g.HasNode(l.B) {
+			return nil, fmt.Errorf("topo: link %d-%d references unknown node", l.A, l.B)
+		}
+		g.AddLink(Link{A: l.A, B: l.B, APort: l.APort, BPort: l.BPort,
+			Capacity: l.Capacity, Metric: l.Metric})
+	}
+	return g, nil
+}

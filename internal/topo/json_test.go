@@ -1,0 +1,60 @@
+package topo
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	g, _ := WAN(1000)
+	var buf bytes.Buffer
+	if err := g.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumNodes() != g.NumNodes() || got.NumLinks() != g.NumLinks() {
+		t.Fatalf("size = %d/%d, want %d/%d",
+			got.NumNodes(), got.NumLinks(), g.NumNodes(), g.NumLinks())
+	}
+	// Links identical including metrics and capacities.
+	for _, l := range g.Links() {
+		gl, ok := got.Link(l.Key())
+		if !ok {
+			t.Fatalf("link %v lost", l.Key())
+		}
+		if gl.Capacity != l.Capacity || gl.Metric != l.Metric {
+			t.Errorf("link %v: cap/metric %v/%v want %v/%v",
+				l.Key(), gl.Capacity, gl.Metric, l.Capacity, l.Metric)
+		}
+	}
+	// Shortest paths agree (semantic equality).
+	p1, _ := g.ShortestPath(1, 10)
+	p2, _ := got.ShortestPath(1, 10)
+	if p1.Cost != p2.Cost {
+		t.Errorf("path costs differ: %v vs %v", p1.Cost, p2.Cost)
+	}
+}
+
+func TestJSONErrors(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{not json")); err == nil {
+		t.Fatal("bad JSON accepted")
+	}
+	// Link referencing an unknown node.
+	bad := `{"nodes":[1],"links":[{"a":1,"b":2,"aPort":1,"bPort":1,"capacityMbps":10}]}`
+	if _, err := ReadJSON(strings.NewReader(bad)); err == nil {
+		t.Fatal("dangling link accepted")
+	}
+	// Empty graph round-trips.
+	var buf bytes.Buffer
+	if err := New().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g, err := ReadJSON(&buf)
+	if err != nil || g.NumNodes() != 0 {
+		t.Fatalf("empty graph: %v %d", err, g.NumNodes())
+	}
+}

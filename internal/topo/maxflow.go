@@ -1,0 +1,62 @@
+package topo
+
+// MaxFlow computes the maximum flow (in capacity units, Mbps) between
+// src and dst over live links using Edmonds–Karp. It treats each
+// undirected link as a pair of directed arcs of the link's capacity.
+// It is the upper bound the TE experiment compares allocations against.
+func (g *Graph) MaxFlow(src, dst NodeID) float64 {
+	if src == dst || !g.HasNode(src) || !g.HasNode(dst) {
+		return 0
+	}
+	type arcKey struct{ from, to NodeID }
+	cap_ := map[arcKey]float64{}
+	for _, l := range g.Links() {
+		if l.Down || l.Capacity <= 0 {
+			continue
+		}
+		cap_[arcKey{l.A, l.B}] += l.Capacity
+		cap_[arcKey{l.B, l.A}] += l.Capacity
+	}
+	flow := map[arcKey]float64{}
+	residual := func(a arcKey) float64 { return cap_[a] - flow[a] }
+
+	var total float64
+	for {
+		// BFS for an augmenting path.
+		prev := map[NodeID]NodeID{src: src}
+		queue := []NodeID{src}
+		for len(queue) > 0 {
+			n := queue[0]
+			queue = queue[1:]
+			for _, l := range g.adj[n] {
+				peer, _, _, _ := l.Other(n)
+				if _, seen := prev[peer]; seen {
+					continue
+				}
+				if residual(arcKey{n, peer}) > 1e-9 {
+					prev[peer] = n
+					queue = append(queue, peer)
+				}
+			}
+			if _, ok := prev[dst]; ok {
+				break
+			}
+		}
+		if _, ok := prev[dst]; !ok {
+			break
+		}
+		// Bottleneck along the path.
+		bottleneck := 1e18
+		for n := dst; n != src; n = prev[n] {
+			if r := residual(arcKey{prev[n], n}); r < bottleneck {
+				bottleneck = r
+			}
+		}
+		for n := dst; n != src; n = prev[n] {
+			flow[arcKey{prev[n], n}] += bottleneck
+			flow[arcKey{n, prev[n]}] -= bottleneck
+		}
+		total += bottleneck
+	}
+	return total
+}

@@ -1,0 +1,201 @@
+package update
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/te"
+	"repro/internal/topo"
+	"repro/internal/workload"
+)
+
+// solveOn builds a TE allocation with the given headroom.
+func solveOn(t *testing.T, g *topo.Graph, m workload.Matrix, headroom float64) *te.Allocation {
+	t.Helper()
+	a, err := te.Solve(g, m, te.Config{KPaths: 4, Headroom: headroom})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestNaiveTransitionOverloads(t *testing.T) {
+	// Two commodities swap between the two sides of a diamond whose
+	// links are exactly at capacity: an uncoordinated swap transiently
+	// doubles load on each side.
+	g := topo.New()
+	g.AddLink(topo.Link{A: 1, B: 2, APort: 1, BPort: 1, Capacity: 10})
+	g.AddLink(topo.Link{A: 2, B: 4, APort: 2, BPort: 1, Capacity: 10})
+	g.AddLink(topo.Link{A: 1, B: 3, APort: 2, BPort: 1, Capacity: 10})
+	g.AddLink(topo.Link{A: 3, B: 4, APort: 2, BPort: 2, Capacity: 10})
+
+	up := topo.Path{Nodes: []topo.NodeID{1, 2, 4}, Cost: 2}
+	down := topo.Path{Nodes: []topo.NodeID{1, 3, 4}, Cost: 2}
+	caps := Capacities(g)
+	mk := func(aPath, bPath topo.Path) *te.Allocation {
+		alloc := &te.Allocation{
+			LinkLoad: map[topo.LinkKey]float64{},
+			LinkCap:  caps,
+		}
+		alloc.Commodities = []te.CommodityAlloc{
+			{Demand: workload.Demand{Src: 1, Dst: 4, Rate: 10}, Allocated: 10,
+				Paths: []te.PathAlloc{{Path: aPath, Rate: 10}}},
+			{Demand: workload.Demand{Src: 4, Dst: 1, Rate: 10}, Allocated: 10,
+				Paths: []te.PathAlloc{{Path: bPath, Rate: 10}}},
+		}
+		return alloc
+	}
+	old := mk(up, down)
+	new_ := mk(down, up)
+
+	// Naive one-shot transition: both diamond sides transiently carry
+	// both commodities -> overload.
+	if v := StepViolations(old, new_, caps); len(v) == 0 {
+		t.Fatal("naive swap reported congestion-free")
+	}
+	// The planner cannot fix a zero-headroom swap by interpolation
+	// either (every interpolation keeps both at full rate).
+	if _, err := (Planner{MaxIntermediates: 8}).Plan(old, new_, caps); err == nil {
+		t.Fatal("plan for zero-headroom swap should fail")
+	}
+}
+
+func TestPlannerWithScratchSucceeds(t *testing.T) {
+	// SWAN's theorem: with scratch s on both endpoints, ceil(1/s)-1
+	// intermediate steps always suffice. s=0.5 -> at most 1.
+	g := topo.New()
+	g.AddLink(topo.Link{A: 1, B: 2, APort: 1, BPort: 1, Capacity: 10})
+	g.AddLink(topo.Link{A: 2, B: 4, APort: 2, BPort: 1, Capacity: 10})
+	g.AddLink(topo.Link{A: 1, B: 3, APort: 2, BPort: 1, Capacity: 10})
+	g.AddLink(topo.Link{A: 3, B: 4, APort: 2, BPort: 2, Capacity: 10})
+	caps := Capacities(g)
+
+	up := topo.Path{Nodes: []topo.NodeID{1, 2, 4}, Cost: 2}
+	down := topo.Path{Nodes: []topo.NodeID{1, 3, 4}, Cost: 2}
+	mk := func(p topo.Path, rate float64) *te.Allocation {
+		return &te.Allocation{
+			LinkLoad: map[topo.LinkKey]float64{},
+			LinkCap:  caps,
+			Commodities: []te.CommodityAlloc{{
+				Demand:    workload.Demand{Src: 1, Dst: 4, Rate: rate},
+				Allocated: rate,
+				Paths:     []te.PathAlloc{{Path: p, Rate: rate}},
+			}},
+		}
+	}
+	// Rate 5 = 50% of capacity (s = 0.5). Moving the commodity from the
+	// top to the bottom path needs no intermediate at all (max(5,5)=5
+	// per link), so the planner returns the direct plan.
+	old, new_ := mk(up, 5), mk(down, 5)
+	plan, err := Planner{}.Plan(old, new_, caps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Intermediates() != 0 {
+		t.Errorf("intermediates = %d, want 0", plan.Intermediates())
+	}
+	if v := plan.Validate(caps); len(v) != 0 {
+		t.Errorf("plan has violations: %+v", v)
+	}
+}
+
+func TestPlannerOnWANTransitions(t *testing.T) {
+	// Random gravity transitions on the WAN with 10% scratch: the
+	// planner must always find a congestion-free plan, while naive
+	// transitions usually overload something.
+	g, _ := topo.WAN(1000)
+	caps := Capacities(g)
+	naiveOverloads, planned := 0, 0
+	for seed := int64(0); seed < 8; seed++ {
+		m1 := workload.Gravity(g, 9000, seed)
+		m2 := workload.Perturb(m1, 0.8, seed+100)
+		old := solveOn(t, g, m1, 0.10)
+		new_ := solveOn(t, g, m2, 0.10)
+
+		if len(StepViolations(old, new_, caps)) > 0 {
+			naiveOverloads++
+		}
+		plan, err := (Planner{MaxIntermediates: 16}).Plan(old, new_, caps)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if v := plan.Validate(caps); len(v) != 0 {
+			t.Fatalf("seed %d: planned transition still violates: %+v", seed, v)
+		}
+		// SWAN bound: s=0.1 -> at most ceil(1/0.1)-1 = 9 intermediates.
+		if plan.Intermediates() > 9 {
+			t.Errorf("seed %d: %d intermediates exceeds SWAN bound 9",
+				seed, plan.Intermediates())
+		}
+		planned++
+	}
+	if planned != 8 {
+		t.Fatalf("planned %d of 8", planned)
+	}
+	t.Logf("naive transitions overloading: %d/8", naiveOverloads)
+}
+
+func TestInterpolateEndpoints(t *testing.T) {
+	g, _ := topo.WAN(1000)
+	m := workload.Gravity(g, 8000, 1)
+	a := solveOn(t, g, m, 0.1)
+	b := solveOn(t, g, workload.Perturb(m, 0.5, 2), 0.1)
+
+	// t=0 reproduces old loads; t=1 reproduces new loads.
+	for _, tc := range []struct {
+		t    float64
+		want *te.Allocation
+	}{{0, a}, {1, b}} {
+		got := Interpolate(a, b, tc.t)
+		for k, load := range tc.want.LinkLoad {
+			if math.Abs(got.LinkLoad[k]-load) > 1e-6 {
+				t.Fatalf("t=%v link %v: %v != %v", tc.t, k, got.LinkLoad[k], load)
+			}
+		}
+	}
+	// Every intermediate respects capacity when endpoints do (linearity).
+	for _, tt := range []float64{0.25, 0.5, 0.75} {
+		mid := Interpolate(a, b, tt)
+		for k, load := range mid.LinkLoad {
+			if load > mid.LinkCap[k]+1e-6 {
+				t.Fatalf("t=%v link %v overloaded: %v > %v", tt, k, load, mid.LinkCap[k])
+			}
+		}
+	}
+	// Clamping.
+	lo := Interpolate(a, b, -3)
+	for k, load := range a.LinkLoad {
+		if math.Abs(lo.LinkLoad[k]-load) > 1e-6 {
+			t.Fatal("t<0 not clamped to old")
+		}
+	}
+}
+
+// TestPlanPropertyEveryStepSafe is the package invariant: whatever the
+// planner returns, every intermediate state AND every transition step
+// respects full capacity.
+func TestPlanPropertyEveryStepSafe(t *testing.T) {
+	g, _ := topo.WAN(1000)
+	caps := Capacities(g)
+	for seed := int64(50); seed < 60; seed++ {
+		old := solveOn(t, g, workload.Gravity(g, 10000, seed), 0.15)
+		new_ := solveOn(t, g, workload.Gravity(g, 10000, seed*7+1), 0.15)
+		plan, err := (Planner{MaxIntermediates: 12}).Plan(old, new_, caps)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		// Steady states within capacity.
+		for si, step := range plan.Steps {
+			for k, load := range step.LinkLoad {
+				if load > caps[k]+1e-6 {
+					t.Fatalf("seed %d step %d: steady load %v > cap %v on %v",
+						seed, si, load, caps[k], k)
+				}
+			}
+		}
+		// Transitions safe (Validate re-checks the max-overlap bound).
+		if v := plan.Validate(caps); len(v) != 0 {
+			t.Fatalf("seed %d: violations %+v", seed, v)
+		}
+	}
+}

@@ -1,0 +1,202 @@
+// Package workload generates the synthetic traffic the experiments
+// drive the platform with: gravity-model and uniform demand matrices
+// for wide-area TE, zipf-skewed flow populations, and deterministic
+// flow-arrival sequences for cbench-style controller load. All
+// generation is seeded, so every experiment is reproducible.
+package workload
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/packet"
+	"repro/internal/topo"
+)
+
+// Demand is one commodity: rate units (Mbps) wanted from Src to Dst.
+type Demand struct {
+	Src, Dst topo.NodeID
+	Rate     float64
+}
+
+// Matrix is a demand matrix in deterministic order.
+type Matrix []Demand
+
+// Total sums the demanded rate.
+func (m Matrix) Total() float64 {
+	var t float64
+	for _, d := range m {
+		t += d.Rate
+	}
+	return t
+}
+
+// Scale returns a copy with every rate multiplied by f.
+func (m Matrix) Scale(f float64) Matrix {
+	out := make(Matrix, len(m))
+	for i, d := range m {
+		d.Rate *= f
+		out[i] = d
+	}
+	return out
+}
+
+// Gravity builds a gravity-model demand matrix over the graph's nodes:
+// every node gets a random mass; demand(i,j) ∝ mass_i * mass_j. The
+// matrix is normalized so its total equals total.
+func Gravity(g *topo.Graph, total float64, seed int64) Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	nodes := g.Nodes()
+	if len(nodes) < 2 {
+		return nil
+	}
+	mass := make(map[topo.NodeID]float64, len(nodes))
+	for _, n := range nodes {
+		mass[n] = 0.2 + rng.Float64() // bounded away from zero
+	}
+	var m Matrix
+	var sum float64
+	for _, a := range nodes {
+		for _, b := range nodes {
+			if a == b {
+				continue
+			}
+			r := mass[a] * mass[b]
+			m = append(m, Demand{Src: a, Dst: b, Rate: r})
+			sum += r
+		}
+	}
+	for i := range m {
+		m[i].Rate = m[i].Rate / sum * total
+	}
+	return m
+}
+
+// Uniform builds an all-pairs matrix with equal rates summing to total.
+func Uniform(g *topo.Graph, total float64) Matrix {
+	nodes := g.Nodes()
+	pairs := len(nodes) * (len(nodes) - 1)
+	if pairs == 0 {
+		return nil
+	}
+	per := total / float64(pairs)
+	var m Matrix
+	for _, a := range nodes {
+		for _, b := range nodes {
+			if a != b {
+				m = append(m, Demand{Src: a, Dst: b, Rate: per})
+			}
+		}
+	}
+	return m
+}
+
+// Perturb returns a copy of the matrix with each rate multiplied by a
+// random factor in [1-jitter, 1+jitter] — the workload shift a network
+// update transitions between.
+func Perturb(m Matrix, jitter float64, seed int64) Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	out := make(Matrix, len(m))
+	for i, d := range m {
+		f := 1 + jitter*(2*rng.Float64()-1)
+		if f < 0 {
+			f = 0
+		}
+		d.Rate *= f
+		out[i] = d
+	}
+	return out
+}
+
+// FlowSpec names one synthetic five-tuple.
+type FlowSpec struct {
+	Src, Dst packet.IPv4Addr
+	Proto    uint8
+	SrcPort  uint16
+	DstPort  uint16
+}
+
+// FlowGen deterministically produces flow specs: destinations drawn
+// zipf-skewed from a host population (a few popular services, a long
+// tail), sources uniform.
+type FlowGen struct {
+	rng   *rand.Rand
+	zipf  *rand.Zipf
+	hosts []packet.IPv4Addr
+}
+
+// NewFlowGen builds a generator over n hosts (10.(i>>16).(i>>8).i).
+// skew is the zipf exponent s (>1); 1.2 is a typical traffic skew.
+func NewFlowGen(n int, skew float64, seed int64) *FlowGen {
+	if n < 2 {
+		n = 2
+	}
+	if skew <= 1 {
+		skew = 1.2
+	}
+	rng := rand.New(rand.NewSource(seed))
+	hosts := make([]packet.IPv4Addr, n)
+	for i := range hosts {
+		v := uint32(i + 1)
+		hosts[i] = packet.IPv4Addr{10, byte(v >> 16), byte(v >> 8), byte(v)}
+	}
+	return &FlowGen{
+		rng:   rng,
+		zipf:  rand.NewZipf(rng, skew, 1, uint64(n-1)),
+		hosts: hosts,
+	}
+}
+
+// Next produces the next flow spec.
+func (fg *FlowGen) Next() FlowSpec {
+	src := fg.hosts[fg.rng.Intn(len(fg.hosts))]
+	dst := fg.hosts[fg.zipf.Uint64()]
+	for dst == src {
+		dst = fg.hosts[fg.zipf.Uint64()]
+	}
+	proto := packet.ProtoTCP
+	if fg.rng.Intn(4) == 0 {
+		proto = packet.ProtoUDP
+	}
+	return FlowSpec{
+		Src:     src,
+		Dst:     dst,
+		Proto:   proto,
+		SrcPort: uint16(1024 + fg.rng.Intn(60000)),
+		DstPort: uint16([]int{80, 443, 53, 8080, 5000}[fg.rng.Intn(5)]),
+	}
+}
+
+// Frame serializes the spec as a minimal frame with the given payload
+// size, reusing buf.
+func (s FlowSpec) Frame(buf *packet.Buffer, payload int) []byte {
+	buf.Reset()
+	buf.Append(payload)
+	switch s.Proto {
+	case packet.ProtoTCP:
+		tcp := packet.TCP{SrcPort: s.SrcPort, DstPort: s.DstPort, Flags: packet.TCPSyn, Window: 65535}
+		tcp.SerializeTo(buf)
+	default:
+		udp := packet.UDP{SrcPort: s.SrcPort, DstPort: s.DstPort}
+		udp.SerializeTo(buf)
+	}
+	ip := packet.IPv4{TTL: 64, Protocol: s.Proto, Src: s.Src, Dst: s.Dst}
+	ip.SerializeTo(buf)
+	eth := packet.Ethernet{
+		Dst:       packet.MACFromUint64(uint64(s.Dst.Uint32())),
+		Src:       packet.MACFromUint64(uint64(s.Src.Uint32())),
+		EtherType: packet.EtherTypeIPv4,
+	}
+	eth.SerializeTo(buf)
+	return buf.Bytes()
+}
+
+// TopPairs returns the k highest-rate demands (for reporting).
+func TopPairs(m Matrix, k int) Matrix {
+	out := append(Matrix(nil), m...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Rate > out[j].Rate })
+	if k < len(out) {
+		out = out[:k]
+	}
+	return out
+}

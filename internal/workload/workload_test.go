@@ -1,0 +1,192 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/packet"
+	"repro/internal/topo"
+)
+
+func TestGravity(t *testing.T) {
+	g, _ := topo.WAN(1000)
+	m := Gravity(g, 5000, 42)
+	n := g.NumNodes()
+	if len(m) != n*(n-1) {
+		t.Fatalf("pairs = %d, want %d", len(m), n*(n-1))
+	}
+	if math.Abs(m.Total()-5000) > 1e-6 {
+		t.Errorf("total = %v", m.Total())
+	}
+	for _, d := range m {
+		if d.Rate <= 0 {
+			t.Fatalf("non-positive rate %v", d)
+		}
+		if d.Src == d.Dst {
+			t.Fatal("self-demand")
+		}
+	}
+	// Deterministic: same seed, same matrix.
+	m2 := Gravity(g, 5000, 42)
+	for i := range m {
+		if m[i] != m2[i] {
+			t.Fatal("gravity not deterministic")
+		}
+	}
+	// Different seed, different matrix.
+	m3 := Gravity(g, 5000, 43)
+	same := true
+	for i := range m {
+		if m[i] != m3[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds gave identical matrices")
+	}
+}
+
+func TestUniformAndScale(t *testing.T) {
+	g := topo.Linear(4, 100)
+	m := Uniform(g, 120)
+	if len(m) != 12 {
+		t.Fatalf("pairs = %d", len(m))
+	}
+	for _, d := range m {
+		if d.Rate != 10 {
+			t.Fatalf("rate = %v", d.Rate)
+		}
+	}
+	s := m.Scale(0.5)
+	if math.Abs(s.Total()-60) > 1e-9 {
+		t.Errorf("scaled total = %v", s.Total())
+	}
+	// Original untouched.
+	if math.Abs(m.Total()-120) > 1e-9 {
+		t.Errorf("original mutated: %v", m.Total())
+	}
+}
+
+func TestPerturb(t *testing.T) {
+	g := topo.Linear(5, 100)
+	m := Uniform(g, 100)
+	p := Perturb(m, 0.3, 9)
+	if len(p) != len(m) {
+		t.Fatal("length changed")
+	}
+	changed := false
+	for i := range p {
+		lo, hi := m[i].Rate*0.7, m[i].Rate*1.3
+		if p[i].Rate < lo-1e-9 || p[i].Rate > hi+1e-9 {
+			t.Fatalf("rate %v outside [%v,%v]", p[i].Rate, lo, hi)
+		}
+		if p[i].Rate != m[i].Rate {
+			changed = true
+		}
+	}
+	if !changed {
+		t.Error("perturb changed nothing")
+	}
+}
+
+func TestFlowGen(t *testing.T) {
+	fg := NewFlowGen(100, 1.2, 7)
+	seen := map[packet.IPv4Addr]int{}
+	for i := 0; i < 5000; i++ {
+		s := fg.Next()
+		if s.Src == s.Dst {
+			t.Fatal("self flow")
+		}
+		if s.Proto != packet.ProtoTCP && s.Proto != packet.ProtoUDP {
+			t.Fatalf("proto = %d", s.Proto)
+		}
+		seen[s.Dst]++
+	}
+	// Zipf skew: the most popular destination gets far more than the
+	// uniform share (50).
+	max := 0
+	for _, n := range seen {
+		if n > max {
+			max = n
+		}
+	}
+	if max < 200 {
+		t.Errorf("top destination only %d of 5000; zipf skew missing", max)
+	}
+	// Determinism.
+	fg2 := NewFlowGen(100, 1.2, 7)
+	for i := 0; i < 100; i++ {
+		if fg2.Next() != NewFlowGenAt(t, 7, i) {
+			// helper below regenerates; simpler: compare two fresh gens
+			break
+		}
+	}
+	a, b := NewFlowGen(50, 1.5, 1), NewFlowGen(50, 1.5, 1)
+	for i := 0; i < 100; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("flowgen not deterministic")
+		}
+	}
+}
+
+// NewFlowGenAt is a test helper that replays a generator to index i.
+func NewFlowGenAt(t *testing.T, seed int64, i int) FlowSpec {
+	t.Helper()
+	fg := NewFlowGen(100, 1.2, seed)
+	var s FlowSpec
+	for j := 0; j <= i; j++ {
+		s = fg.Next()
+	}
+	return s
+}
+
+func TestFlowSpecFrame(t *testing.T) {
+	fg := NewFlowGen(10, 1.2, 3)
+	buf := packet.NewBuffer(256)
+	for i := 0; i < 50; i++ {
+		spec := fg.Next()
+		data := spec.Frame(buf, 26)
+		var f packet.Frame
+		if err := packet.Decode(data, &f); err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !f.Has(packet.LayerIPv4) {
+			t.Fatal("no IPv4 layer")
+		}
+		if f.IPv4.Src != spec.Src || f.IPv4.Dst != spec.Dst {
+			t.Fatalf("addrs wrong: %v->%v", f.IPv4.Src, f.IPv4.Dst)
+		}
+		switch spec.Proto {
+		case packet.ProtoTCP:
+			if !f.Has(packet.LayerTCP) || f.TCP.DstPort != spec.DstPort {
+				t.Fatal("TCP mismatch")
+			}
+		default:
+			if !f.Has(packet.LayerUDP) || f.UDP.DstPort != spec.DstPort {
+				t.Fatal("UDP mismatch")
+			}
+		}
+		if len(f.Payload) != 26 {
+			t.Fatalf("payload = %d", len(f.Payload))
+		}
+	}
+}
+
+func TestTopPairs(t *testing.T) {
+	g, _ := topo.WAN(1000)
+	m := Gravity(g, 1000, 1)
+	top := TopPairs(m, 5)
+	if len(top) != 5 {
+		t.Fatalf("top = %d", len(top))
+	}
+	for i := 1; i < len(top); i++ {
+		if top[i].Rate > top[i-1].Rate {
+			t.Error("top pairs not sorted")
+		}
+	}
+	// Original not reordered (TopPairs copies).
+	if math.Abs(m.Total()-1000) > 1e-6 {
+		t.Error("original total changed")
+	}
+}

@@ -1,0 +1,183 @@
+package zof
+
+import (
+	"fmt"
+
+	"repro/internal/packet"
+)
+
+// Reserved output port numbers. Real ports are 1..PortMax.
+const (
+	PortMax        uint32 = 0xffffff00
+	PortInPort     uint32 = 0xfffffff8 // send back out the ingress port
+	PortTable      uint32 = 0xfffffff9 // resubmit to the pipeline
+	PortFlood      uint32 = 0xfffffffb // all ports except ingress
+	PortAll        uint32 = 0xfffffffc // all ports including ingress
+	PortController uint32 = 0xfffffffd // packet-in to the controller
+	PortNone       uint32 = 0xffffffff
+)
+
+// ActionType discriminates Action.
+type ActionType uint16
+
+// Action type codes.
+const (
+	ActOutput ActionType = iota
+	ActSetVLAN
+	ActStripVLAN
+	ActSetEthSrc
+	ActSetEthDst
+	ActSetIPSrc
+	ActSetIPDst
+	ActSetTOS
+	ActSetTPSrc
+	ActSetTPDst
+	ActGroup
+	ActSetQueue
+	actMax
+)
+
+var actionNames = [...]string{
+	"output", "set_vlan", "strip_vlan", "set_eth_src", "set_eth_dst",
+	"set_ip_src", "set_ip_dst", "set_tos", "set_tp_src", "set_tp_dst",
+	"group", "set_queue",
+}
+
+// String names the action type.
+func (t ActionType) String() string {
+	if int(t) < len(actionNames) {
+		return actionNames[t]
+	}
+	return fmt.Sprintf("ActionType(%d)", uint16(t))
+}
+
+// Action is one forwarding-pipeline action. It is a tagged union: the
+// fields used depend on Type. Keeping it a single flat struct keeps
+// action lists allocation-free.
+type Action struct {
+	Type   ActionType
+	Port   uint32 // ActOutput, ActGroup (group id), ActSetQueue (queue id)
+	MaxLen uint16 // ActOutput to controller: bytes of packet to include
+	VLAN   uint16 // ActSetVLAN
+	TOS    uint8  // ActSetTOS
+	MAC    packet.MAC
+	IP     packet.IPv4Addr
+	TP     uint16 // ActSetTPSrc / ActSetTPDst
+}
+
+// Output builds an output action.
+func Output(port uint32) Action { return Action{Type: ActOutput, Port: port} }
+
+// OutputController builds a packet-in action carrying maxLen bytes.
+func OutputController(maxLen uint16) Action {
+	return Action{Type: ActOutput, Port: PortController, MaxLen: maxLen}
+}
+
+// Group builds a group action.
+func Group(id uint32) Action { return Action{Type: ActGroup, Port: id} }
+
+// SetEthSrc/SetEthDst/SetIPSrc/SetIPDst build rewrite actions.
+func SetEthSrc(m packet.MAC) Action     { return Action{Type: ActSetEthSrc, MAC: m} }
+func SetEthDst(m packet.MAC) Action     { return Action{Type: ActSetEthDst, MAC: m} }
+func SetIPSrc(a packet.IPv4Addr) Action { return Action{Type: ActSetIPSrc, IP: a} }
+func SetIPDst(a packet.IPv4Addr) Action { return Action{Type: ActSetIPDst, IP: a} }
+func SetTPSrc(p uint16) Action          { return Action{Type: ActSetTPSrc, TP: p} }
+func SetTPDst(p uint16) Action          { return Action{Type: ActSetTPDst, TP: p} }
+func SetVLAN(vid uint16) Action         { return Action{Type: ActSetVLAN, VLAN: vid} }
+func StripVLAN() Action                 { return Action{Type: ActStripVLAN} }
+func SetQueue(id uint32) Action         { return Action{Type: ActSetQueue, Port: id} }
+
+// actionWireLen is the fixed encoded length of one action.
+const actionWireLen = 20
+
+// appendActions encodes a count-prefixed action list.
+func appendActions(b []byte, acts []Action) []byte {
+	b = appendU16(b, uint16(len(acts)))
+	for i := range acts {
+		a := &acts[i]
+		b = appendU16(b, uint16(a.Type))
+		b = appendU32(b, a.Port)
+		b = appendU16(b, a.MaxLen)
+		b = appendU16(b, a.VLAN)
+		b = append(b, a.TOS)
+		b = append(b, a.MAC[:]...)
+		b = append(b, a.IP[:]...)
+		b = appendU16(b, a.TP)
+		b = append(b, 0) // pad to 20
+	}
+	return b
+}
+
+// decodeActions reads a count-prefixed action list via r.
+func decodeActions(r *reader) ([]Action, error) {
+	n := int(r.u16())
+	if r.err || n*actionWireLen > r.remaining() {
+		return nil, ErrBadBody
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	acts := make([]Action, n)
+	for i := range acts {
+		a := &acts[i]
+		a.Type = ActionType(r.u16())
+		a.Port = r.u32()
+		a.MaxLen = r.u16()
+		a.VLAN = r.u16()
+		a.TOS = r.u8()
+		copy(a.MAC[:], r.bytes(6))
+		copy(a.IP[:], r.bytes(4))
+		a.TP = r.u16()
+		r.u8() // pad
+		if a.Type >= actMax {
+			return nil, ErrBadBody
+		}
+	}
+	if r.err {
+		return nil, ErrBadBody
+	}
+	return acts, nil
+}
+
+// String renders the action compactly, e.g. "output:3".
+func (a Action) String() string {
+	switch a.Type {
+	case ActOutput:
+		switch a.Port {
+		case PortController:
+			return fmt.Sprintf("output:controller(max=%d)", a.MaxLen)
+		case PortFlood:
+			return "output:flood"
+		case PortAll:
+			return "output:all"
+		case PortInPort:
+			return "output:in_port"
+		case PortTable:
+			return "output:table"
+		}
+		return fmt.Sprintf("output:%d", a.Port)
+	case ActSetVLAN:
+		return fmt.Sprintf("set_vlan:%d", a.VLAN)
+	case ActStripVLAN:
+		return "strip_vlan"
+	case ActSetEthSrc:
+		return "set_eth_src:" + a.MAC.String()
+	case ActSetEthDst:
+		return "set_eth_dst:" + a.MAC.String()
+	case ActSetIPSrc:
+		return "set_ip_src:" + a.IP.String()
+	case ActSetIPDst:
+		return "set_ip_dst:" + a.IP.String()
+	case ActSetTOS:
+		return fmt.Sprintf("set_tos:%d", a.TOS)
+	case ActSetTPSrc:
+		return fmt.Sprintf("set_tp_src:%d", a.TP)
+	case ActSetTPDst:
+		return fmt.Sprintf("set_tp_dst:%d", a.TP)
+	case ActGroup:
+		return fmt.Sprintf("group:%d", a.Port)
+	case ActSetQueue:
+		return fmt.Sprintf("set_queue:%d", a.Port)
+	}
+	return a.Type.String()
+}

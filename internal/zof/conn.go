@@ -1,0 +1,161 @@
+package zof
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Conn frames zof messages over a byte stream. One goroutine may call
+// Receive while any number call Send; writes are serialized internally
+// and flushed per message (the control channel is latency- not
+// throughput-bound).
+type Conn struct {
+	raw  net.Conn
+	br   *bufio.Reader
+	wmu  sync.Mutex
+	bw   *bufio.Writer
+	xid  atomic.Uint32
+	once sync.Once
+	err  atomic.Value // error
+}
+
+// NewConn wraps a net.Conn.
+func NewConn(raw net.Conn) *Conn {
+	return &Conn{
+		raw: raw,
+		br:  bufio.NewReaderSize(raw, 64<<10),
+		bw:  bufio.NewWriterSize(raw, 64<<10),
+	}
+}
+
+// NextXID returns a fresh transaction id (never 0).
+func (c *Conn) NextXID() uint32 {
+	for {
+		if x := c.xid.Add(1); x != 0 {
+			return x
+		}
+	}
+}
+
+// Send marshals and writes msg with a fresh XID, returning the XID used.
+func (c *Conn) Send(msg Message) (uint32, error) {
+	xid := c.NextXID()
+	return xid, c.SendXID(msg, xid)
+}
+
+// SendXID marshals and writes msg with the caller's XID (used to answer a
+// request with the same transaction id).
+func (c *Conn) SendXID(msg Message, xid uint32) error {
+	b, err := Marshal(msg, xid)
+	if err != nil {
+		return err
+	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if _, err := c.bw.Write(b); err != nil {
+		return c.fail(err)
+	}
+	if err := c.bw.Flush(); err != nil {
+		return c.fail(err)
+	}
+	return nil
+}
+
+// Receive blocks for the next message. The returned Message owns its
+// memory; the connection's buffers are reused.
+func (c *Conn) Receive() (Message, Header, error) {
+	var hdr [HeaderLen]byte
+	if _, err := io.ReadFull(c.br, hdr[:]); err != nil {
+		return nil, Header{}, c.fail(err)
+	}
+	h, err := DecodeHeader(hdr[:])
+	if err != nil {
+		return nil, h, err
+	}
+	if int(h.Length) > MaxMessageLen {
+		return nil, h, ErrMessageTooBig
+	}
+	body := make([]byte, int(h.Length)-HeaderLen)
+	if _, err := io.ReadFull(c.br, body); err != nil {
+		return nil, h, c.fail(err)
+	}
+	msg := NewMessage(h.Type)
+	if msg == nil {
+		return nil, h, ErrBadType
+	}
+	if err := msg.DecodeBody(body); err != nil {
+		return nil, h, fmt.Errorf("decoding %v: %w", h.Type, err)
+	}
+	return msg, h, nil
+}
+
+// SetDeadline applies to the underlying transport.
+func (c *Conn) SetDeadline(t time.Time) error { return c.raw.SetDeadline(t) }
+
+// SetReadDeadline applies to the underlying transport.
+func (c *Conn) SetReadDeadline(t time.Time) error { return c.raw.SetReadDeadline(t) }
+
+// Close shuts the transport; safe to call more than once.
+func (c *Conn) Close() error {
+	var err error
+	c.once.Do(func() {
+		c.err.CompareAndSwap(nil, errBox{ErrConnClosed})
+		err = c.raw.Close()
+	})
+	return err
+}
+
+// errBox gives atomic.Value a single concrete type to hold regardless
+// of the dynamic error type inside.
+type errBox struct{ err error }
+
+// Err returns the first transport error seen, or nil.
+func (c *Conn) Err() error {
+	if v := c.err.Load(); v != nil {
+		return v.(errBox).err
+	}
+	return nil
+}
+
+// RemoteAddr names the peer.
+func (c *Conn) RemoteAddr() net.Addr { return c.raw.RemoteAddr() }
+
+func (c *Conn) fail(err error) error {
+	if err == nil {
+		return nil
+	}
+	c.err.CompareAndSwap(nil, errBox{err})
+	return err
+}
+
+// Handshake runs the symmetric Hello exchange. Call it on both ends
+// before any other traffic; it tolerates the peer's Hello arriving first
+// or second.
+func (c *Conn) Handshake() error {
+	if _, err := c.Send(&Hello{}); err != nil {
+		return fmt.Errorf("sending hello: %w", err)
+	}
+	msg, _, err := c.Receive()
+	if err != nil {
+		return fmt.Errorf("awaiting hello: %w", err)
+	}
+	if _, ok := msg.(*Hello); !ok {
+		return ErrHandshakeState
+	}
+	return nil
+}
+
+// PeekHeaderLength parses just the length field of a header; exposed for
+// tests that exercise framing directly.
+func PeekHeaderLength(b []byte) (int, error) {
+	if len(b) < 4 {
+		return 0, ErrShortMessage
+	}
+	return int(binary.BigEndian.Uint16(b[2:4])), nil
+}

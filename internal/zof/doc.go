@@ -1,0 +1,14 @@
+// Package zof implements the zen OpenFlow-like southbound wire protocol
+// spoken between the controller and datapaths (software switches).
+//
+// The protocol borrows OpenFlow 1.0's shape — an 8-byte header carrying
+// version, type, length and transaction id, followed by a type-specific
+// body — with a simplified, self-consistent layout: a fixed 40-byte match
+// structure with a wildcard bitmap and prefix-length IP matching, and
+// TLV-encoded action lists.
+//
+// Every message type satisfies Message: it knows its type code and can
+// marshal/unmarshal its body. Conn frames messages over any net.Conn and
+// is safe for one reader plus concurrent writers, the usage pattern of
+// both controller and datapath.
+package zof

@@ -1,0 +1,81 @@
+package zof
+
+// GroupMod commands.
+const (
+	GroupAdd uint8 = iota
+	GroupModify
+	GroupDelete
+)
+
+// Group types on the wire (mirrored by the datapath's group table).
+const (
+	GroupTypeAll uint8 = iota
+	GroupTypeSelect
+	GroupTypeFastFailover
+)
+
+// GroupBucket is one action set within a group-mod.
+type GroupBucket struct {
+	Weight    uint16 // Select: share of flows (0 treated as 1)
+	WatchPort uint32 // FastFailover: liveness signal (0 = always live)
+	Actions   []Action
+}
+
+// GroupMod installs, replaces or removes a group on the datapath.
+type GroupMod struct {
+	Command   uint8
+	GroupType uint8
+	GroupID   uint32
+	Buckets   []GroupBucket
+}
+
+// Type implements Message.
+func (*GroupMod) Type() MsgType { return TypeGroupMod }
+
+// AppendBody implements Message.
+func (m *GroupMod) AppendBody(b []byte) []byte {
+	b = append(b, m.Command, m.GroupType)
+	b = appendU32(b, m.GroupID)
+	b = appendU16(b, uint16(len(m.Buckets)))
+	for i := range m.Buckets {
+		bk := &m.Buckets[i]
+		b = appendU16(b, bk.Weight)
+		b = appendU32(b, bk.WatchPort)
+		b = appendActions(b, bk.Actions)
+	}
+	return b
+}
+
+// DecodeBody implements Message.
+func (m *GroupMod) DecodeBody(b []byte) error {
+	r := reader{b: b}
+	m.Command = r.u8()
+	m.GroupType = r.u8()
+	m.GroupID = r.u32()
+	n := int(r.u16())
+	if r.err || m.Command > GroupDelete || m.GroupType > GroupTypeFastFailover {
+		return ErrBadBody
+	}
+	// Each bucket needs at least 8 bytes (weight+watch+count).
+	if n*8 > r.remaining() {
+		return ErrBadBody
+	}
+	if n == 0 {
+		m.Buckets = nil
+		return nil
+	}
+	m.Buckets = make([]GroupBucket, n)
+	for i := range m.Buckets {
+		bk := &m.Buckets[i]
+		bk.Weight = r.u16()
+		bk.WatchPort = r.u32()
+		var err error
+		if bk.Actions, err = decodeActions(&r); err != nil {
+			return err
+		}
+	}
+	if r.err {
+		return ErrBadBody
+	}
+	return nil
+}
