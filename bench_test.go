@@ -1,7 +1,7 @@
 package repro
 
 // One testing.B benchmark per experiment of the synthetic evaluation
-// suite (DESIGN.md E1-E6), plus the ablations the design calls out.
+// suite (DESIGN.md E1-E7), plus the ablations the design calls out.
 // cmd/zbench renders the same experiments as full tables; these benches
 // make each one reproducible under `go test -bench`.
 
@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"runtime"
+	"sync"
 	"testing"
 	"time"
 
@@ -470,5 +472,90 @@ func BenchmarkPipelineForwarding(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sw.HandleFrame(1, wire)
+	}
+}
+
+// --- E7: parallel pipeline scaling -------------------------------------------
+
+// benchParallelSwitch builds a switch with nw disjoint worker lanes:
+// worker w sends a distinct microflow on ingress port w+1, matched by a
+// per-lane flow entry steering to egress 1001+w. Distinct lanes keep
+// entry counters, cache shards and ports uncontended, so the benchmark
+// measures pipeline scaling rather than artificial counter sharing.
+func benchParallelSwitch(b *testing.B, nw int) (*dataplane.Switch, [][]byte) {
+	b.Helper()
+	sw := dataplane.NewSwitch(dataplane.Config{DPID: 1, DropOnMiss: true})
+	frames := make([][]byte, nw)
+	for w := 0; w < nw; w++ {
+		in, out := uint32(w+1), uint32(1001+w)
+		sw.AddPort(in, "", 1000)
+		sw.AddPort(out, "", 1000).SetTx(func([]byte) {})
+		m := zof.MatchAll()
+		m.Wildcards &^= zof.WInPort
+		m.InPort = in
+		var repErr *zof.Error
+		sw.Process(&zof.FlowMod{Command: zof.FlowAdd, Match: m, Priority: 10,
+			BufferID: zof.NoBuffer, Actions: []zof.Action{zof.Output(out)}}, 1,
+			func(rep zof.Message, _ uint32) {
+				if e, ok := rep.(*zof.Error); ok {
+					repErr = e
+				}
+			})
+		if repErr != nil {
+			b.Fatal(repErr)
+		}
+		buf := packet.NewBuffer(64)
+		buf.Append(22)
+		src := packet.IPv4Addr{10, 1, byte(w >> 8), byte(w)}
+		dst := packet.IPv4Addr{10, 2, byte(w >> 8), byte(w)}
+		udp := packet.UDP{SrcPort: uint16(4000 + w), DstPort: 53}
+		udp.SerializeToWithChecksum(buf, src, dst)
+		ip := packet.IPv4{TTL: 64, Protocol: packet.ProtoUDP, Src: src, Dst: dst}
+		ip.SerializeTo(buf)
+		eth := packet.Ethernet{EtherType: packet.EtherTypeIPv4}
+		eth.SerializeTo(buf)
+		frames[w] = append([]byte(nil), buf.Bytes()...)
+		sw.HandleFrame(in, frames[w]) // warm the microflow cache
+	}
+	return sw, frames
+}
+
+// BenchmarkE7PipelineParallel measures the lock-free datapath: N worker
+// goroutines each pump their own microflow through one shared switch.
+// frames/s is the headline (scaling vs workers-1); allocs/op must stay
+// 0 on this single-output forward path.
+func BenchmarkE7PipelineParallel(b *testing.B) {
+	counts := []int{1, 4, 8, runtime.GOMAXPROCS(0)}
+	seen := map[int]bool{}
+	for _, nw := range counts {
+		if nw < 1 || seen[nw] {
+			continue
+		}
+		seen[nw] = true
+		b.Run(fmt.Sprintf("workers-%d", nw), func(b *testing.B) {
+			sw, frames := benchParallelSwitch(b, nw)
+			b.ReportAllocs()
+			b.ResetTimer()
+			start := time.Now()
+			var wg sync.WaitGroup
+			for w := 0; w < nw; w++ {
+				n := b.N / nw
+				if w == 0 {
+					n += b.N % nw
+				}
+				wg.Add(1)
+				go func(w, n int) {
+					defer wg.Done()
+					in := uint32(w + 1)
+					for i := 0; i < n; i++ {
+						sw.HandleFrame(in, frames[w])
+					}
+				}(w, n)
+			}
+			wg.Wait()
+			if el := time.Since(start).Seconds(); el > 0 {
+				b.ReportMetric(float64(b.N)/el, "frames/s")
+			}
+		})
 	}
 }

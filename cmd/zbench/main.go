@@ -1,5 +1,5 @@
 // Command zbench regenerates the synthetic evaluation suite declared
-// in DESIGN.md: every experiment (E1-E6 plus ablations) prints the
+// in DESIGN.md: every experiment (E1-E7 plus ablations) prints the
 // table or series its SIGCOMM'13-style counterpart would report.
 //
 // Usage:
@@ -9,6 +9,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -19,9 +20,10 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id: e1,e1a,e2,e3,e3a,e4,e5,e6 or all")
+	exp := flag.String("exp", "all", "experiment id: e1,e1a,e2,e3,e3a,e4,e5,e6,e7 or all")
 	quick := flag.Bool("quick", false, "reduced parameters for a fast pass")
 	seed := flag.Int64("seed", 1, "workload seed")
+	jsonOut := flag.String("json", "", "also write machine-readable results to this file (e7)")
 	flag.Parse()
 
 	run := func(id string) bool {
@@ -118,6 +120,28 @@ func main() {
 	if run("e6") {
 		ran++
 		experiments.E6Codec().Fprint(os.Stdout)
+	}
+	if run("e7") {
+		ran++
+		cfg := experiments.E7Config{}
+		if *quick {
+			cfg.Workers = []int{1, 4}
+			cfg.Measure = 100 * time.Millisecond
+		}
+		t, res, err := experiments.E7PipelineParallel(cfg)
+		if err != nil {
+			fail(err)
+		}
+		t.Fprint(os.Stdout)
+		if *jsonOut != "" {
+			data, err := json.MarshalIndent(res, "", "  ")
+			if err != nil {
+				fail(err)
+			}
+			if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+				fail(err)
+			}
+		}
 	}
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "zbench: unknown experiment %q\n", *exp)

@@ -70,6 +70,6 @@ func main() {
 	}
 	for node, sw := range net.Emu.Switches {
 		fmt.Printf("  switch %d: %d flows installed, %d packet-ins\n",
-			node, sw.FlowCount(), sw.PacketIns)
+			node, sw.FlowCount(), sw.PacketIns.Load())
 	}
 }

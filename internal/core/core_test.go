@@ -148,7 +148,7 @@ func TestRoutingReroutesAroundFailure(t *testing.T) {
 		}
 		if time.Now().After(deadline) {
 			for node, sw := range n.Emu.Switches {
-				t.Logf("switch %d: flows=%d packetins=%d", node, sw.FlowCount(), sw.PacketIns)
+				t.Logf("switch %d: flows=%d packetins=%d", node, sw.FlowCount(), sw.PacketIns.Load())
 				sw.Process(&zof.StatsRequest{Kind: zof.StatsFlow, TableID: 0xff,
 					Match: zof.MatchAll()}, 1, func(rep zof.Message, _ uint32) {
 					if sr, ok := rep.(*zof.StatsReply); ok {

@@ -1,0 +1,234 @@
+package dataplane
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/flowtable"
+	"repro/internal/packet"
+	"repro/internal/zof"
+)
+
+// bufPool recycles frame-sized byte buffers for the copy-on-write and
+// fan-out paths, so steady-state forwarding allocates nothing.
+var bufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 2048)
+	return &b
+}}
+
+// bufGet returns a pooled buffer resliced to n bytes.
+func bufGet(n int) *[]byte {
+	bp := bufPool.Get().(*[]byte)
+	if cap(*bp) < n {
+		*bp = make([]byte, n)
+	}
+	*bp = (*bp)[:n]
+	return bp
+}
+
+func bufPut(bp *[]byte) { bufPool.Put(bp) }
+
+// exec is one pipeline execution: the decoded frame, the pipeline
+// snapshot it runs against, and (if a rewrite or fan-out forced a
+// copy) the pooled buffer this execution owns. Execs are pooled so the
+// hot path allocates nothing; many run concurrently, one per in-flight
+// frame (group buckets get their own nested exec).
+//
+// Frame-data ownership: an exec starts out borrowing the caller's
+// bytes and never mutates them. The first in-place rewrite copies the
+// frame into a pooled buffer (ensureOwned) — move semantics for the
+// common single-output forward, copy only when the pipeline actually
+// writes or a group fans the frame out. Outputs hand ports a borrowed
+// reference; the Port tx contract (see SetTx) forbids retaining it.
+type exec struct {
+	sw    *Switch
+	pl    *pipeline
+	frame packet.Frame
+	owned *[]byte // pooled buffer this exec owns, or nil while borrowing
+}
+
+var execPool = sync.Pool{New: func() any { return new(exec) }}
+
+func getExec(s *Switch, pl *pipeline) *exec {
+	x := execPool.Get().(*exec)
+	x.sw, x.pl, x.owned = s, pl, nil
+	return x
+}
+
+// release returns the exec and any owned buffer to their pools. No
+// frame bytes may be referenced after release — everything sent out a
+// port was either copied by the tx or fully delivered.
+func (x *exec) release() {
+	if x.owned != nil {
+		bufPut(x.owned)
+		x.owned = nil
+	}
+	x.sw, x.pl = nil, nil
+	execPool.Put(x)
+}
+
+// ensureOwned makes data writable: if the exec already owns it, data
+// is returned as-is; otherwise the bytes move into a pooled buffer.
+// The decoded frame keeps aliasing the original payload bytes, which
+// is sound because rewrites only edit headers (and the VLAN paths that
+// change framing re-decode).
+func (x *exec) ensureOwned(data []byte) []byte {
+	if x.owned != nil && len(data) > 0 && len(*x.owned) > 0 && &data[0] == &(*x.owned)[0] {
+		return data
+	}
+	bp := bufGet(len(data))
+	copy(*bp, data)
+	if x.owned != nil {
+		bufPut(x.owned)
+	}
+	x.owned = bp
+	return *bp
+}
+
+// reframe swaps in a pooled replacement buffer of a different size
+// (VLAN push/strip), releasing the previously owned buffer if any.
+// The caller has already copied what it needs out of the old bytes.
+func (x *exec) reframe(bp *[]byte) []byte {
+	if x.owned != nil {
+		bufPut(x.owned)
+	}
+	x.owned = bp
+	return *bp
+}
+
+// apply executes an action list against the frame bytes. It returns
+// the current frame bytes (rewrites may have moved them into an owned
+// buffer) and whether the list requested resubmission to the next
+// table. depth bounds group recursion.
+func (x *exec) apply(inPort uint32, data []byte, acts []zof.Action, depth int) ([]byte, bool) {
+	if depth > 4 {
+		return data, false // group loop guard
+	}
+	resubmit := false
+	for i := range acts {
+		a := &acts[i]
+		switch a.Type {
+		case zof.ActOutput:
+			switch a.Port {
+			case zof.PortTable:
+				resubmit = true
+			case zof.PortController:
+				maxLen := int(a.MaxLen)
+				if maxLen <= 0 {
+					maxLen = x.sw.cfg.MissSendLen
+				}
+				x.packetIn(inPort, data, 0, zof.ReasonAction, 0, maxLen)
+			case zof.PortFlood:
+				for _, p := range x.pl.portList {
+					if p.no != inPort && p.Up() {
+						p.send(data)
+					}
+				}
+			case zof.PortAll:
+				for _, p := range x.pl.portList {
+					if p.Up() {
+						p.send(data)
+					}
+				}
+			case zof.PortInPort:
+				if p := x.pl.ports[inPort]; p != nil {
+					p.send(data)
+				}
+			default:
+				if p := x.pl.ports[a.Port]; p != nil {
+					p.send(data)
+				}
+			}
+		case zof.ActGroup:
+			g := x.pl.groups[a.Port]
+			if g == nil {
+				continue
+			}
+			buckets, err := g.pick(selectHash(&x.frame), x.portUp)
+			if err != nil {
+				continue
+			}
+			for bi := range buckets {
+				// Each bucket works on its own pooled copy and nested
+				// exec so rewrites do not leak between buckets or back
+				// into this execution's frame.
+				bx := getExec(x.sw, x.pl)
+				bp := bufGet(len(data))
+				copy(*bp, data)
+				bx.owned = bp
+				if packet.Decode(*bp, &bx.frame) == nil {
+					bx.apply(inPort, *bp, buckets[bi].Actions, depth+1)
+				}
+				bx.release()
+			}
+		default:
+			data = x.rewrite(data, a)
+		}
+	}
+	return data, resubmit
+}
+
+// portUp reports port liveness for fast-failover group selection,
+// against this execution's pipeline snapshot.
+func (x *exec) portUp(no uint32) bool {
+	p := x.pl.ports[no]
+	return p != nil && p.Up()
+}
+
+// miss implements the table-miss policy.
+func (x *exec) miss(inPort uint32, data []byte, tableID uint8) {
+	if x.sw.cfg.DropOnMiss || len(x.pl.sinks) == 0 {
+		return
+	}
+	x.packetIn(inPort, data, tableID, zof.ReasonNoMatch, 0, x.sw.cfg.MissSendLen)
+}
+
+// packetIn parks the packet and notifies every controller sink. The
+// carried bytes are a fresh copy — the message outlives this
+// execution's buffers.
+func (x *exec) packetIn(inPort uint32, data []byte, tableID, reason uint8, cookie uint64, maxLen int) {
+	s := x.sw
+	id := s.buffers.put(inPort, data)
+	carry := data
+	if len(carry) > maxLen {
+		carry = carry[:maxLen]
+	}
+	msg := &zof.PacketIn{
+		BufferID: id,
+		TotalLen: uint16(len(data)),
+		InPort:   inPort,
+		TableID:  tableID,
+		Reason:   reason,
+		Cookie:   cookie,
+		Data:     append([]byte(nil), carry...),
+	}
+	s.PacketIns.Add(1)
+	// Sinks serialize their own writes (the session layer holds a
+	// write mutex); packet-ins from one port stay ordered because each
+	// port's frames arrive from a single delivery goroutine.
+	for _, fn := range x.pl.sinks {
+		fn(msg)
+	}
+}
+
+// run pushes a decoded frame through the multi-table pipeline starting
+// at table 0 with the given first-table result.
+func (x *exec) run(inPort uint32, data []byte, entry *flowtable.Entry, now time.Time) {
+	tableID := 0
+	for {
+		if entry == nil {
+			x.miss(inPort, data, uint8(tableID))
+			return
+		}
+		var resubmit bool
+		data, resubmit = x.apply(inPort, data, entry.Actions, 0)
+		if !resubmit {
+			return
+		}
+		tableID++
+		if tableID >= len(x.pl.tables) {
+			return
+		}
+		entry = x.pl.tables[tableID].Lookup(&x.frame, inPort, len(data), now)
+	}
+}

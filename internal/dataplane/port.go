@@ -7,6 +7,7 @@ package dataplane
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/zof"
 )
@@ -14,19 +15,40 @@ import (
 // Port is one switch port. Tx is the wire: the emulator points it at
 // the far end of the link. Ports are created up; SetDown simulates
 // link failure.
+//
+// The transmit/receive path is lock-free: link state, counters and the
+// tx function are atomics, so concurrent pipeline executions touching
+// different ports never share a lock, and ones sharing a port only
+// share counter cache lines.
 type Port struct {
-	mu    sync.Mutex
-	info  zof.PortInfo
-	tx    func(data []byte)
-	stats zof.PortStats
+	no uint32 // immutable
+
+	mu   sync.Mutex // guards info (descriptive state, slow path)
+	info zof.PortInfo
+
+	up atomic.Bool                  // mirrors info.Up()
+	tx atomic.Pointer[func([]byte)] // nil until wired
+
+	rxPackets atomic.Uint64
+	rxBytes   atomic.Uint64
+	rxDropped atomic.Uint64
+	txPackets atomic.Uint64
+	txBytes   atomic.Uint64
+	txDropped atomic.Uint64
 }
 
 // NewPort builds a port; tx may be nil until wired.
 func NewPort(info zof.PortInfo, tx func([]byte)) *Port {
-	p := &Port{info: info, tx: tx}
-	p.stats.PortNo = info.No
+	p := &Port{no: info.No, info: info}
+	p.up.Store(info.Up())
+	if tx != nil {
+		p.tx.Store(&tx)
+	}
 	return p
 }
+
+// No returns the port number.
+func (p *Port) No() uint32 { return p.no }
 
 // Info returns a snapshot of the port description.
 func (p *Port) Info() zof.PortInfo {
@@ -37,16 +59,27 @@ func (p *Port) Info() zof.PortInfo {
 
 // Stats returns a snapshot of the counters.
 func (p *Port) Stats() zof.PortStats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.stats
+	return zof.PortStats{
+		PortNo:    p.no,
+		RxPackets: p.rxPackets.Load(),
+		TxPackets: p.txPackets.Load(),
+		RxBytes:   p.rxBytes.Load(),
+		TxBytes:   p.txBytes.Load(),
+		RxDropped: p.rxDropped.Load(),
+		TxDropped: p.txDropped.Load(),
+	}
 }
 
-// SetTx wires the transmit side.
+// SetTx wires the transmit side. The tx function is handed frames the
+// pipeline still owns: it must not retain or mutate the slice after
+// returning — copy first if delivery is queued (the emulator's Pipe
+// does exactly that).
 func (p *Port) SetTx(tx func([]byte)) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.tx = tx
+	if tx == nil {
+		p.tx.Store(nil)
+		return
+	}
+	p.tx.Store(&tx)
 }
 
 // SetDown changes the link state, returning true if it changed.
@@ -62,41 +95,34 @@ func (p *Port) SetDown(down bool) bool {
 	} else {
 		p.info.State &^= zof.PortStateLinkDown
 	}
+	p.up.Store(p.info.Up())
 	return true
 }
 
 // Up reports link state.
-func (p *Port) Up() bool {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.info.Up()
-}
+func (p *Port) Up() bool { return p.up.Load() }
 
 // send transmits data if the port is up and wired, updating counters.
+// The callee must be done with data when it returns (see SetTx).
 func (p *Port) send(data []byte) {
-	p.mu.Lock()
-	if !p.info.Up() || p.tx == nil {
-		p.stats.TxDropped++
-		p.mu.Unlock()
+	tx := p.tx.Load()
+	if tx == nil || !p.up.Load() {
+		p.txDropped.Add(1)
 		return
 	}
-	tx := p.tx
-	p.stats.TxPackets++
-	p.stats.TxBytes += uint64(len(data))
-	p.mu.Unlock()
-	tx(data)
+	p.txPackets.Add(1)
+	p.txBytes.Add(uint64(len(data)))
+	(*tx)(data)
 }
 
 // recv accounts an arriving frame, returning false if the port is down
 // (frame dropped).
 func (p *Port) recv(n int) bool {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if !p.info.Up() {
-		p.stats.RxDropped++
+	if !p.up.Load() {
+		p.rxDropped.Add(1)
 		return false
 	}
-	p.stats.RxPackets++
-	p.stats.RxBytes += uint64(n)
+	p.rxPackets.Add(1)
+	p.rxBytes.Add(uint64(n))
 	return true
 }

@@ -7,24 +7,30 @@ import (
 	"repro/internal/zof"
 )
 
-// rewrite applies one set-field action to the raw frame bytes in place
-// (or reallocates for VLAN push/strip), keeps s.frame in sync, and
-// fixes checksums. It returns the (possibly new) frame slice.
-func (s *Switch) rewrite(data []byte, a *zof.Action) []byte {
-	f := &s.frame
+// rewrite applies one set-field action to the frame bytes, keeps
+// x.frame in sync, and fixes checksums. Rewrites are copy-on-write:
+// the first one moves borrowed bytes into a buffer the exec owns
+// (ensureOwned), so the caller's slice — possibly still being flooded
+// to other switches — is never mutated. It returns the (possibly new)
+// frame slice.
+func (x *exec) rewrite(data []byte, a *zof.Action) []byte {
+	f := &x.frame
 	ethEnd := packet.EthernetHeaderLen
 	if f.Has(packet.LayerVLAN) {
 		ethEnd += packet.Dot1QHeaderLen
 	}
 	switch a.Type {
 	case zof.ActSetEthSrc:
+		data = x.ensureOwned(data)
 		copy(data[6:12], a.MAC[:])
 		f.Eth.Src = a.MAC
 	case zof.ActSetEthDst:
+		data = x.ensureOwned(data)
 		copy(data[0:6], a.MAC[:])
 		f.Eth.Dst = a.MAC
 	case zof.ActSetVLAN:
 		if f.Has(packet.LayerVLAN) {
+			data = x.ensureOwned(data)
 			tci := uint16(f.VLAN.Priority)<<13 | a.VLAN&0x0fff
 			if f.VLAN.DropOK {
 				tci |= 0x1000
@@ -32,65 +38,73 @@ func (s *Switch) rewrite(data []byte, a *zof.Action) []byte {
 			binary.BigEndian.PutUint16(data[14:16], tci)
 			f.VLAN.VLAN = a.VLAN & 0x0fff
 		} else {
-			// Push a tag: insert 4 bytes after the MAC addresses.
-			nd := make([]byte, len(data)+4)
+			// Push a tag: insert 4 bytes after the MAC addresses, into a
+			// pooled replacement buffer.
+			bp := bufGet(len(data) + 4)
+			nd := *bp
 			copy(nd, data[:12])
 			binary.BigEndian.PutUint16(nd[12:14], packet.EtherTypeVLAN)
 			binary.BigEndian.PutUint16(nd[14:16], a.VLAN&0x0fff)
 			binary.BigEndian.PutUint16(nd[16:18], f.Eth.EtherType)
 			copy(nd[18:], data[14:])
-			data = nd
+			data = x.reframe(bp)
 			// Re-decode to refresh every layer offset/alias.
 			_ = packet.Decode(data, f)
 		}
 	case zof.ActStripVLAN:
 		if f.Has(packet.LayerVLAN) {
-			nd := make([]byte, len(data)-4)
+			bp := bufGet(len(data) - 4)
+			nd := *bp
 			copy(nd, data[:12])
 			binary.BigEndian.PutUint16(nd[12:14], f.VLAN.EtherType)
 			copy(nd[14:], data[18:])
-			data = nd
+			data = x.reframe(bp)
 			_ = packet.Decode(data, f)
 		}
 	case zof.ActSetIPSrc:
 		if f.Has(packet.LayerIPv4) {
+			data = x.ensureOwned(data)
 			copy(data[ethEnd+12:ethEnd+16], a.IP[:])
 			f.IPv4.Src = a.IP
-			s.fixIPChecksum(data, ethEnd)
-			s.fixL4Checksum(data, ethEnd)
+			x.fixIPChecksum(data, ethEnd)
+			x.fixL4Checksum(data, ethEnd)
 		}
 	case zof.ActSetIPDst:
 		if f.Has(packet.LayerIPv4) {
+			data = x.ensureOwned(data)
 			copy(data[ethEnd+16:ethEnd+20], a.IP[:])
 			f.IPv4.Dst = a.IP
-			s.fixIPChecksum(data, ethEnd)
-			s.fixL4Checksum(data, ethEnd)
+			x.fixIPChecksum(data, ethEnd)
+			x.fixL4Checksum(data, ethEnd)
 		}
 	case zof.ActSetTOS:
 		if f.Has(packet.LayerIPv4) {
+			data = x.ensureOwned(data)
 			data[ethEnd+1] = a.TOS
 			f.IPv4.TOS = a.TOS
-			s.fixIPChecksum(data, ethEnd)
+			x.fixIPChecksum(data, ethEnd)
 		}
 	case zof.ActSetTPSrc:
-		if off, ok := s.l4Offset(ethEnd); ok {
+		if off, ok := x.l4Offset(ethEnd); ok {
+			data = x.ensureOwned(data)
 			binary.BigEndian.PutUint16(data[off:off+2], a.TP)
 			if f.Has(packet.LayerTCP) {
 				f.TCP.SrcPort = a.TP
 			} else {
 				f.UDP.SrcPort = a.TP
 			}
-			s.fixL4Checksum(data, ethEnd)
+			x.fixL4Checksum(data, ethEnd)
 		}
 	case zof.ActSetTPDst:
-		if off, ok := s.l4Offset(ethEnd); ok {
+		if off, ok := x.l4Offset(ethEnd); ok {
+			data = x.ensureOwned(data)
 			binary.BigEndian.PutUint16(data[off+2:off+4], a.TP)
 			if f.Has(packet.LayerTCP) {
 				f.TCP.DstPort = a.TP
 			} else {
 				f.UDP.DstPort = a.TP
 			}
-			s.fixL4Checksum(data, ethEnd)
+			x.fixL4Checksum(data, ethEnd)
 		}
 	case zof.ActSetQueue:
 		// Queues are an accounting notion in this datapath; nothing to
@@ -100,31 +114,29 @@ func (s *Switch) rewrite(data []byte, a *zof.Action) []byte {
 }
 
 // l4Offset returns the byte offset of the TCP/UDP header.
-func (s *Switch) l4Offset(ethEnd int) (int, bool) {
-	f := &s.frame
+func (x *exec) l4Offset(ethEnd int) (int, bool) {
+	f := &x.frame
 	if !f.Has(packet.LayerIPv4) || (!f.Has(packet.LayerTCP) && !f.Has(packet.LayerUDP)) {
 		return 0, false
 	}
-	ihl := int(f.IPv4.Length) // careful: Length is total len; recompute from header
-	_ = ihl
 	return ethEnd + f.IPv4.HeaderLen(), true
 }
 
 // fixIPChecksum recomputes the IPv4 header checksum in place.
-func (s *Switch) fixIPChecksum(data []byte, ethEnd int) {
-	hl := s.frame.IPv4.HeaderLen()
+func (x *exec) fixIPChecksum(data []byte, ethEnd int) {
+	hl := x.frame.IPv4.HeaderLen()
 	h := data[ethEnd : ethEnd+hl]
 	h[10], h[11] = 0, 0
 	sum := packet.Checksum(h, 0)
 	binary.BigEndian.PutUint16(h[10:12], sum)
-	s.frame.IPv4.Checksum = sum
+	x.frame.IPv4.Checksum = sum
 }
 
 // fixL4Checksum recomputes the TCP/UDP checksum in place. A UDP
 // checksum of zero (disabled) stays zero.
-func (s *Switch) fixL4Checksum(data []byte, ethEnd int) {
-	f := &s.frame
-	off, ok := s.l4Offset(ethEnd)
+func (x *exec) fixL4Checksum(data []byte, ethEnd int) {
+	f := &x.frame
+	off, ok := x.l4Offset(ethEnd)
 	if !ok {
 		return
 	}

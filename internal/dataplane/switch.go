@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/flowtable"
@@ -22,29 +23,45 @@ type Config struct {
 	Clock       func() time.Time
 }
 
-// Switch is a software datapath. All pipeline and control operations
-// are serialized by an internal mutex; ports' transmit functions are
-// invoked outside the lock via the emulator's asynchronous links.
-type Switch struct {
-	mu      sync.Mutex
-	cfg     Config
-	tables  []*flowtable.Table
-	cache   *flowtable.MicroCache
-	groups  map[uint32]*GroupDesc
-	ports   map[uint32]*Port
-	buffers *packetBuffers
+// pipeline is the immutable fast-path view of the switch: everything a
+// frame needs to traverse the datapath. Control-plane mutations build a
+// fresh pipeline under s.mu and publish it atomically (RCU-style), so
+// HandleFrame never takes a lock — an execution that loaded a pipeline
+// keeps a consistent snapshot for its whole traversal even while flow
+// mods, group mods and port changes land concurrently.
+type pipeline struct {
+	tables   []*flowtable.Table // shared with s.tables; internally RCU
+	groups   map[uint32]*GroupDesc
+	ports    map[uint32]*Port
+	portList []*Port // ascending port number: deterministic flood order
+	sinks    []func(zof.Message)
+}
 
-	// controllers are the registered switch-to-controller sinks for
-	// asynchronous messages (PacketIn, FlowRemoved, PortStatus). A
-	// switch may hold sessions to several controllers at once (HA);
-	// role filtering happens in each session.
+// Switch is a software datapath. Control operations (flow mods, group
+// mods, port and controller changes, stats) are serialized by an
+// internal mutex; the packet pipeline is lock-free — HandleFrame runs
+// concurrently from any number of goroutines against the published
+// pipeline snapshot.
+type Switch struct {
+	mu  sync.Mutex
+	cfg Config
+
+	// Authoritative control-plane state, guarded by mu. The tables
+	// slice is fixed at construction; tables themselves are internally
+	// synchronized (mutations serialized here, reads RCU).
+	tables      []*flowtable.Table
+	groups      map[uint32]*GroupDesc
+	ports       map[uint32]*Port
 	controllers map[int]func(zof.Message)
 	nextSink    int
 
-	frame packet.Frame // reused decode target
+	// Fast-path state.
+	pl      atomic.Pointer[pipeline]
+	cache   *flowtable.MicroCache
+	buffers *packetBuffers
 
 	// PacketIns counts packets sent to the controller (test aid).
-	PacketIns uint64
+	PacketIns atomic.Uint64
 }
 
 // NewSwitch builds a switch from cfg.
@@ -69,7 +86,38 @@ func NewSwitch(cfg Config) *Switch {
 	for i := 0; i < cfg.NumTables; i++ {
 		s.tables = append(s.tables, flowtable.NewTable(cfg.TableSize))
 	}
+	s.publishLocked()
 	return s
+}
+
+// publishLocked rebuilds the fast-path snapshot from the authoritative
+// state and stores it. Caller holds s.mu (or is the constructor). The
+// maps are cloned so in-flight executions never observe a map write.
+func (s *Switch) publishLocked() {
+	pl := &pipeline{
+		tables:   s.tables,
+		groups:   make(map[uint32]*GroupDesc, len(s.groups)),
+		ports:    make(map[uint32]*Port, len(s.ports)),
+		portList: make([]*Port, 0, len(s.ports)),
+		sinks:    make([]func(zof.Message), 0, len(s.controllers)),
+	}
+	for id, g := range s.groups {
+		pl.groups[id] = g
+	}
+	for no, p := range s.ports {
+		pl.ports[no] = p
+		pl.portList = append(pl.portList, p)
+	}
+	sort.Slice(pl.portList, func(i, j int) bool { return pl.portList[i].no < pl.portList[j].no })
+	ids := make([]int, 0, len(s.controllers))
+	for id := range s.controllers {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		pl.sinks = append(pl.sinks, s.controllers[id])
+	}
+	s.pl.Store(pl)
 }
 
 // DPID returns the datapath id.
@@ -85,6 +133,7 @@ func (s *Switch) SetController(fn func(zof.Message)) {
 		s.controllers[s.nextSink] = fn
 		s.nextSink++
 	}
+	s.publishLocked()
 	s.mu.Unlock()
 }
 
@@ -96,6 +145,7 @@ func (s *Switch) AddControllerSink(fn func(zof.Message)) int {
 	id := s.nextSink
 	s.nextSink++
 	s.controllers[id] = fn
+	s.publishLocked()
 	return id
 }
 
@@ -103,6 +153,7 @@ func (s *Switch) AddControllerSink(fn func(zof.Message)) int {
 func (s *Switch) RemoveControllerSink(id int) {
 	s.mu.Lock()
 	delete(s.controllers, id)
+	s.publishLocked()
 	s.mu.Unlock()
 }
 
@@ -126,36 +177,26 @@ func (s *Switch) AddPort(no uint32, name string, speedMbps uint32) *Port {
 	}, nil)
 	s.mu.Lock()
 	s.ports[no] = p
+	s.publishLocked()
 	s.notifyLocked(&zof.PortStatus{Reason: zof.PortAdded, Port: p.Info()})
 	s.mu.Unlock()
 	return p
 }
 
-// Port returns port no.
+// Port returns port no. Lock-free: reads the published snapshot.
 func (s *Switch) Port(no uint32) (*Port, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	p, ok := s.ports[no]
-	return p, ok
+	p := s.pl.Load().ports[no]
+	return p, p != nil
 }
 
 // Ports returns all ports in number order.
 func (s *Switch) Ports() []*Port {
-	s.mu.Lock()
-	nos := make([]uint32, 0, len(s.ports))
-	for no := range s.ports {
-		nos = append(nos, no)
-	}
-	sort.Slice(nos, func(i, j int) bool { return nos[i] < nos[j] })
-	out := make([]*Port, len(nos))
-	for i, no := range nos {
-		out[i] = s.ports[no]
-	}
-	s.mu.Unlock()
-	return out
+	return append([]*Port(nil), s.pl.Load().portList...)
 }
 
-// SetPortDown fails or restores a port, emitting PortStatus.
+// SetPortDown fails or restores a port, emitting PortStatus. Port
+// link state is atomic, so no pipeline republish is needed — in-flight
+// executions see the flip immediately.
 func (s *Switch) SetPortDown(no uint32, down bool) {
 	p, ok := s.Port(no)
 	if !ok || !p.SetDown(down) {
@@ -196,6 +237,7 @@ func (s *Switch) AddGroup(g GroupDesc) {
 	cp := g
 	cp.Buckets = append([]Bucket(nil), g.Buckets...)
 	s.groups[g.ID] = &cp
+	s.publishLocked()
 	s.mu.Unlock()
 }
 
@@ -207,185 +249,63 @@ func (s *Switch) DeleteGroup(id uint32) bool {
 		return false
 	}
 	delete(s.groups, id)
+	s.publishLocked()
 	return true
 }
 
 // FlowCount returns the number of entries across tables (test aid).
 func (s *Switch) FlowCount() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	n := 0
-	for _, t := range s.tables {
+	for _, t := range s.pl.Load().tables {
 		n += t.Len()
 	}
 	return n
 }
 
 // HandleFrame runs a frame arriving on inPort through the pipeline.
-// The data slice is not retained.
+// The data slice is borrowed for the duration of the call and never
+// mutated or retained — callers may reuse it immediately after return.
+//
+// This is the lock-free fast path: any number of goroutines may call
+// HandleFrame concurrently. Each call loads the current pipeline
+// snapshot, takes a pooled execution context, and traverses tables,
+// groups and ports without acquiring the switch mutex. Control-plane
+// mutations racing with a traversal are seen either entirely or not at
+// all (per-structure RCU views).
 func (s *Switch) HandleFrame(inPort uint32, data []byte) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	p, ok := s.ports[inPort]
-	if !ok || !p.recv(len(data)) {
+	pl := s.pl.Load()
+	p := pl.ports[inPort]
+	if p == nil || !p.recv(len(data)) {
 		return
 	}
-	if err := packet.Decode(data, &s.frame); err != nil {
+	x := getExec(s, pl)
+	if err := packet.Decode(data, &x.frame); err != nil {
+		x.release()
 		return // malformed frames die here, like on real silicon
 	}
 	now := s.cfg.Clock()
 
-	// Microflow cache fronts table 0.
-	key := flowtable.MakeCacheKey(&s.frame, inPort)
-	gen := s.tables[0].Gen()
+	// Microflow cache fronts table 0. The generation is read before the
+	// lookup: a racing table mutation can only make the cached answer
+	// newer than the recorded gen, and the next Get self-heals on the
+	// gen mismatch.
+	t0 := pl.tables[0]
+	key := flowtable.MakeCacheKey(&x.frame, inPort)
+	gen := t0.Gen()
 	entry, cached := s.cache.Get(key, gen)
 	if !cached {
-		entry = s.tables[0].Lookup(&s.frame, inPort, len(data), now)
+		entry = t0.Lookup(&x.frame, inPort, len(data), now)
 		s.cache.Put(key, gen, entry)
 	} else if entry != nil {
 		// Cached hits still account against the entry and table.
-		s.tables[0].Lookups++
-		s.tables[0].Matches++
-		entry.Packets++
-		entry.Bytes += uint64(len(data))
-		entry.LastUsed = now
+		t0.NoteLookup(inPort, true)
+		entry.Touch(now, len(data))
 	} else {
-		s.tables[0].Lookups++
+		t0.NoteLookup(inPort, false)
 	}
 
-	tableID := 0
-	for {
-		if entry == nil {
-			s.miss(inPort, data, uint8(tableID))
-			return
-		}
-		resubmit := s.apply(inPort, data, entry.Actions, 0)
-		if !resubmit {
-			return
-		}
-		tableID++
-		if tableID >= len(s.tables) {
-			return
-		}
-		entry = s.tables[tableID].Lookup(&s.frame, inPort, len(data), now)
-	}
-}
-
-// miss implements the table-miss policy.
-func (s *Switch) miss(inPort uint32, data []byte, tableID uint8) {
-	if s.cfg.DropOnMiss || len(s.controllers) == 0 {
-		return
-	}
-	s.packetIn(inPort, data, tableID, zof.ReasonNoMatch, 0)
-}
-
-// packetIn parks the packet and notifies the controller.
-func (s *Switch) packetIn(inPort uint32, data []byte, tableID, reason uint8, cookie uint64) {
-	id := s.buffers.put(inPort, data)
-	carry := data
-	if len(carry) > s.cfg.MissSendLen {
-		carry = carry[:s.cfg.MissSendLen]
-	}
-	msg := &zof.PacketIn{
-		BufferID: id,
-		TotalLen: uint16(len(data)),
-		InPort:   inPort,
-		TableID:  tableID,
-		Reason:   reason,
-		Cookie:   cookie,
-		Data:     append([]byte(nil), carry...),
-	}
-	s.PacketIns++
-	// Delivered under the lock: the session layer's send is
-	// non-blocking enough (TCP buffered writes), and this keeps
-	// packet-in ordering consistent with pipeline order.
-	s.notifyLocked(msg)
-}
-
-// apply executes an action list against the frame bytes. It returns
-// true if the list requested resubmission to the next table. depth
-// bounds group recursion.
-func (s *Switch) apply(inPort uint32, data []byte, acts []zof.Action, depth int) (resubmit bool) {
-	if depth > 4 {
-		return false // group loop guard
-	}
-	for i := range acts {
-		a := &acts[i]
-		switch a.Type {
-		case zof.ActOutput:
-			switch a.Port {
-			case zof.PortTable:
-				resubmit = true
-			case zof.PortController:
-				maxLen := int(a.MaxLen)
-				if maxLen <= 0 {
-					maxLen = s.cfg.MissSendLen
-				}
-				carry := data
-				if len(carry) > maxLen {
-					carry = carry[:maxLen]
-				}
-				id := s.buffers.put(inPort, data)
-				s.PacketIns++
-				s.notifyLocked(&zof.PacketIn{
-					BufferID: id,
-					TotalLen: uint16(len(data)),
-					InPort:   inPort,
-					Reason:   zof.ReasonAction,
-					Data:     append([]byte(nil), carry...),
-				})
-			case zof.PortFlood:
-				for no, p := range s.ports {
-					if no != inPort && p.Up() {
-						p.send(append([]byte(nil), data...))
-					}
-				}
-			case zof.PortAll:
-				for _, p := range s.ports {
-					if p.Up() {
-						p.send(append([]byte(nil), data...))
-					}
-				}
-			case zof.PortInPort:
-				if p, ok := s.ports[inPort]; ok {
-					p.send(append([]byte(nil), data...))
-				}
-			default:
-				if p, ok := s.ports[a.Port]; ok {
-					p.send(append([]byte(nil), data...))
-				}
-			}
-		case zof.ActGroup:
-			g, ok := s.groups[a.Port]
-			if !ok {
-				continue
-			}
-			buckets, err := g.pick(selectHash(&s.frame), s.portUpLocked)
-			if err != nil {
-				continue
-			}
-			for _, b := range buckets {
-				// Each bucket works on its own copy so rewrites do not
-				// leak between buckets.
-				cp := append([]byte(nil), data...)
-				var fr packet.Frame
-				if packet.Decode(cp, &fr) == nil {
-					saved := s.frame
-					s.frame = fr
-					s.apply(inPort, cp, b.Actions, depth+1)
-					s.frame = saved
-				}
-			}
-		default:
-			data = s.rewrite(data, a)
-		}
-	}
-	return resubmit
-}
-
-func (s *Switch) portUpLocked(no uint32) bool {
-	p, ok := s.ports[no]
-	return ok && p.Up()
+	x.run(inPort, data, entry, now)
+	x.release()
 }
 
 // Tick sweeps expired flows at now, emitting FlowRemoved where asked.
@@ -404,8 +324,8 @@ func (s *Switch) Tick(now time.Time) {
 				Reason:        rm.Reason,
 				TableID:       uint8(i),
 				DurationNanos: uint64(now.Sub(rm.Entry.Created)),
-				PacketCount:   rm.Entry.Packets,
-				ByteCount:     rm.Entry.Bytes,
+				PacketCount:   rm.Entry.Packets(),
+				ByteCount:     rm.Entry.Bytes(),
 			})
 		}
 	}
@@ -453,6 +373,17 @@ func errCode(err error) uint16 {
 	return zof.ErrCodeBadRequest
 }
 
+// inject runs an action list for a control-plane-originated packet
+// (packet-out, buffered release). Caller holds s.mu; the execution uses
+// the current snapshot like any datapath frame would.
+func (s *Switch) inject(inPort uint32, data []byte, acts []zof.Action) {
+	x := getExec(s, s.pl.Load())
+	if packet.Decode(data, &x.frame) == nil {
+		x.apply(inPort, data, acts, 0)
+	}
+	x.release()
+}
+
 func (s *Switch) flowModLocked(m *zof.FlowMod) error {
 	if int(m.TableID) >= len(s.tables) {
 		return fmt.Errorf("no table %d", m.TableID)
@@ -486,9 +417,7 @@ func (s *Switch) flowModLocked(m *zof.FlowMod) error {
 	// state of the pipeline.
 	if m.BufferID != zof.NoBuffer && m.Command == zof.FlowAdd {
 		if inPort, data, ok := s.buffers.take(m.BufferID); ok {
-			if packet.Decode(data, &s.frame) == nil {
-				s.apply(inPort, data, m.Actions, 0)
-			}
+			s.inject(inPort, data, m.Actions)
 		}
 	}
 	return nil
@@ -509,8 +438,8 @@ func (s *Switch) emitRemoved(tableID uint8, removed []*flowtable.Entry, now time
 			Reason:        zof.RemovedDelete,
 			TableID:       tableID,
 			DurationNanos: uint64(now.Sub(e.Created)),
-			PacketCount:   e.Packets,
-			ByteCount:     e.Bytes,
+			PacketCount:   e.Packets(),
+			ByteCount:     e.Bytes(),
 		})
 	}
 }
@@ -533,11 +462,13 @@ func (s *Switch) groupModLocked(m *zof.GroupMod) error {
 			}
 		}
 		s.groups[m.GroupID] = &g
+		s.publishLocked()
 	case zof.GroupDelete:
 		if _, ok := s.groups[m.GroupID]; !ok {
 			return fmt.Errorf("no group %d", m.GroupID)
 		}
 		delete(s.groups, m.GroupID)
+		s.publishLocked()
 	default:
 		return fmt.Errorf("bad group_mod command %d", m.Command)
 	}
@@ -557,12 +488,9 @@ func (s *Switch) packetOutLocked(m *zof.PacketOut) {
 		}
 		data = bd
 	} else {
-		data = append([]byte(nil), m.Data...)
+		data = m.Data
 	}
-	if packet.Decode(data, &s.frame) != nil {
-		return
-	}
-	s.apply(inPort, data, m.Actions, 0)
+	s.inject(inPort, data, m.Actions)
 }
 
 func (s *Switch) statsLocked(m *zof.StatsRequest) *zof.StatsReply {
@@ -579,8 +507,8 @@ func (s *Switch) statsLocked(m *zof.StatsRequest) *zof.StatsReply {
 					continue
 				}
 				if m.Kind == zof.StatsAggregate {
-					rep.Aggregate.PacketCount += e.Packets
-					rep.Aggregate.ByteCount += e.Bytes
+					rep.Aggregate.PacketCount += e.Packets()
+					rep.Aggregate.ByteCount += e.Bytes()
 					rep.Aggregate.FlowCount++
 					continue
 				}
@@ -592,9 +520,11 @@ func (s *Switch) statsLocked(m *zof.StatsRequest) *zof.StatsReply {
 					DurationNanos: uint64(now.Sub(e.Created)),
 					IdleTimeout:   uint16(e.IdleTimeout / time.Second),
 					HardTimeout:   uint16(e.HardTimeout / time.Second),
-					PacketCount:   e.Packets,
-					ByteCount:     e.Bytes,
-					Actions:       e.Actions,
+					PacketCount:   e.Packets(),
+					ByteCount:     e.Bytes(),
+					// Copied: the reply is marshalled and read outside the
+					// lock, and the live entry's actions must not alias it.
+					Actions: append([]zof.Action(nil), e.Actions...),
 				})
 			}
 		}

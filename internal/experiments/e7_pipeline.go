@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dataplane"
+	"repro/internal/packet"
+	"repro/internal/zof"
+)
+
+// E7Config parameterizes the parallel-pipeline experiment.
+type E7Config struct {
+	Workers []int         // worker counts to sweep (default 1,2,4,8 + GOMAXPROCS)
+	Measure time.Duration // wall time per point (default 500ms)
+}
+
+// E7Point is one measured worker count.
+type E7Point struct {
+	Workers      int     `json:"workers"`
+	FramesPerSec float64 `json:"frames_per_sec"`
+	SpeedupVs1   float64 `json:"speedup_vs_1"`
+}
+
+// E7Result is the machine-readable output (BENCH_e7.json). Scaling is
+// bounded by GOMAXPROCS: on a single-core host every worker count
+// timeshares one CPU and speedup_vs_1 hovers around 1.0; the datapath
+// itself has no serialization left to limit it.
+type E7Result struct {
+	GOMAXPROCS int       `json:"gomaxprocs"`
+	NumCPU     int       `json:"num_cpu"`
+	MeasureMS  int64     `json:"measure_ms"`
+	Points     []E7Point `json:"points"`
+}
+
+// e7Switch builds a switch with n disjoint forwarding lanes: lane i
+// receives its own microflow on ingress port i+1 and a dedicated flow
+// entry outputs it to egress port 1001+i (tx is a no-op sink). Disjoint
+// lanes mean the measurement exposes pipeline serialization, not
+// artificial contention on one entry's counters.
+func e7Switch(n int) (*dataplane.Switch, [][]byte, error) {
+	sw := dataplane.NewSwitch(dataplane.Config{DPID: 1, DropOnMiss: true})
+	frames := make([][]byte, n)
+	for w := 0; w < n; w++ {
+		in, out := uint32(w+1), uint32(1001+w)
+		sw.AddPort(in, fmt.Sprintf("in%d", w), 1000)
+		sw.AddPort(out, fmt.Sprintf("out%d", w), 1000).SetTx(func([]byte) {})
+		m := zof.MatchAll()
+		m.Wildcards &^= zof.WInPort
+		m.InPort = in
+		var repErr error
+		sw.Process(&zof.FlowMod{Command: zof.FlowAdd, Match: m, Priority: 10,
+			BufferID: zof.NoBuffer, Actions: []zof.Action{zof.Output(out)}}, 1,
+			func(rep zof.Message, _ uint32) {
+				if e, ok := rep.(*zof.Error); ok {
+					repErr = fmt.Errorf("flow add: %s", e.Detail)
+				}
+			})
+		if repErr != nil {
+			return nil, nil, repErr
+		}
+		buf := packet.NewBuffer(64)
+		buf.Append(22)
+		src := packet.IPv4Addr{10, 1, byte(w >> 8), byte(w)}
+		dst := packet.IPv4Addr{10, 2, byte(w >> 8), byte(w)}
+		udp := packet.UDP{SrcPort: uint16(4000 + w), DstPort: 53}
+		udp.SerializeToWithChecksum(buf, src, dst)
+		ip := packet.IPv4{TTL: 64, Protocol: packet.ProtoUDP, Src: src, Dst: dst}
+		ip.SerializeTo(buf)
+		eth := packet.Ethernet{EtherType: packet.EtherTypeIPv4}
+		eth.SerializeTo(buf)
+		frames[w] = append([]byte(nil), buf.Bytes()...)
+		sw.HandleFrame(in, frames[w]) // warm the microflow cache
+	}
+	return sw, frames, nil
+}
+
+// E7PipelineParallel measures lock-free datapath throughput versus the
+// number of goroutines pumping frames through one shared switch
+// (DESIGN.md "Concurrency model"). It reports aggregate frames/s per
+// worker count and the speedup over a single worker.
+func E7PipelineParallel(cfg E7Config) (*Table, *E7Result, error) {
+	if len(cfg.Workers) == 0 {
+		cfg.Workers = []int{1, 2, 4, 8, runtime.GOMAXPROCS(0)}
+	}
+	if cfg.Measure <= 0 {
+		cfg.Measure = 500 * time.Millisecond
+	}
+	maxW, seen := 0, map[int]bool{}
+	workers := cfg.Workers[:0:0]
+	for _, nw := range cfg.Workers {
+		if nw < 1 || seen[nw] {
+			continue
+		}
+		seen[nw] = true
+		workers = append(workers, nw)
+		if nw > maxW {
+			maxW = nw
+		}
+	}
+	sw, frames, err := e7Switch(maxW)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	res := &E7Result{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		MeasureMS:  cfg.Measure.Milliseconds(),
+	}
+	tbl := &Table{
+		ID:     "E7",
+		Title:  "parallel pipeline scaling (one switch, N ingress goroutines)",
+		Header: []string{"workers", "frames/s", "speedup"},
+		Notes: []string{fmt.Sprintf("GOMAXPROCS=%d NumCPU=%d; speedup is bounded by available cores",
+			res.GOMAXPROCS, res.NumCPU)},
+	}
+
+	var base float64
+	for _, nw := range workers {
+		var stop atomic.Bool
+		counts := make([]uint64, nw)
+		var wg sync.WaitGroup
+		start := time.Now()
+		for w := 0; w < nw; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				in, fr := uint32(w+1), frames[w]
+				var n uint64
+				for !stop.Load() {
+					sw.HandleFrame(in, fr)
+					n++
+				}
+				counts[w] = n
+			}(w)
+		}
+		time.Sleep(cfg.Measure)
+		stop.Store(true)
+		wg.Wait()
+		elapsed := time.Since(start).Seconds()
+		var total uint64
+		for _, n := range counts {
+			total += n
+		}
+		fps := float64(total) / elapsed
+		if base == 0 {
+			base = fps
+		}
+		pt := E7Point{Workers: nw, FramesPerSec: fps, SpeedupVs1: fps / base}
+		res.Points = append(res.Points, pt)
+		tbl.AddRow(fmt.Sprintf("%d", nw), f0(fps), f2(pt.SpeedupVs1)+"x")
+	}
+	return tbl, res, nil
+}

@@ -1,5 +1,5 @@
 // Package experiments implements the synthetic evaluation suite
-// declared in DESIGN.md (E1-E6): each experiment drives the platform
+// declared in DESIGN.md (E1-E7): each experiment drives the platform
 // with a generated workload and renders the table or data series the
 // corresponding SIGCOMM'13-style evaluation would report. cmd/zbench
 // is the CLI front end; the root bench_test.go wraps the same code in

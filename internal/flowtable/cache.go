@@ -1,6 +1,8 @@
 package flowtable
 
 import (
+	"sync"
+
 	"repro/internal/packet"
 )
 
@@ -24,20 +26,53 @@ func MakeCacheKey(f *packet.Frame, inPort uint32) CacheKey {
 	}
 }
 
+// hash mixes every key field into the shard selector. The flow key
+// carries the 5-tuple; port and MACs are folded in FNV-style so flows
+// differing only in L2 addressing or ingress land on distinct shards.
+func (k *CacheKey) hash() uint64 {
+	const prime64 = 1099511628211
+	h := k.Flow.FastHash()
+	h = (h ^ uint64(k.InPort)) * prime64
+	h = (h ^ macBits(k.EthSrc)) * prime64
+	h = (h ^ macBits(k.EthDst)) * prime64
+	return h
+}
+
+func macBits(m packet.MAC) uint64 {
+	return uint64(m[0])<<40 | uint64(m[1])<<32 | uint64(m[2])<<24 |
+		uint64(m[3])<<16 | uint64(m[4])<<8 | uint64(m[5])
+}
+
 type cacheSlot struct {
 	gen   uint64
 	entry *Entry // nil caches a definite miss
 }
 
+// cacheShard is one independently locked slice of the cache. The
+// padding keeps neighbouring shards' mutexes off each other's cache
+// line so uncontended shard locks stay uncontended in silicon too.
+type cacheShard struct {
+	mu     sync.Mutex
+	slots  map[CacheKey]cacheSlot
+	hits   uint64 // guarded by mu
+	misses uint64 // guarded by mu
+	_      [24]byte
+}
+
+// cacheShards must be a power of two; 64 comfortably exceeds the
+// core counts this runs on, making shard collisions between
+// concurrently polled ports rare.
+const cacheShards = 64
+
 // MicroCache memoizes Table lookups per microflow, the Open vSwitch
 // megaflow/microflow idea reduced to its essence: any table mutation
 // (tracked by the table generation) invalidates the whole cache lazily.
+// The cache is sharded by key hash with one mutex per shard, so
+// concurrent ingress ports hit disjoint shards and never serialize on
+// a single lock.
 type MicroCache struct {
-	slots map[CacheKey]cacheSlot
-	max   int
-
-	Hits   uint64
-	Misses uint64
+	shards      [cacheShards]cacheShard
+	maxPerShard int
 }
 
 // NewMicroCache returns a cache bounded at max microflows (0 = 65536).
@@ -45,37 +80,98 @@ func NewMicroCache(max int) *MicroCache {
 	if max <= 0 {
 		max = 65536
 	}
-	return &MicroCache{slots: make(map[CacheKey]cacheSlot), max: max}
+	perShard := max / cacheShards
+	if perShard < 1 {
+		perShard = 1
+	}
+	c := &MicroCache{maxPerShard: perShard}
+	for i := range c.shards {
+		c.shards[i].slots = make(map[CacheKey]cacheSlot)
+	}
+	return c
+}
+
+func (c *MicroCache) shard(key *CacheKey) *cacheShard {
+	return &c.shards[key.hash()&(cacheShards-1)]
 }
 
 // Get returns the cached entry for key if still valid against gen.
 // The second result reports whether the cache had an authoritative
 // answer (which may be a cached miss: entry == nil, ok == true).
 func (c *MicroCache) Get(key CacheKey, gen uint64) (*Entry, bool) {
-	s, ok := c.slots[key]
+	sh := c.shard(&key)
+	sh.mu.Lock()
+	s, ok := sh.slots[key]
 	if !ok || s.gen != gen {
-		c.Misses++
+		sh.misses++
+		sh.mu.Unlock()
 		return nil, false
 	}
-	c.Hits++
+	sh.hits++
+	sh.mu.Unlock()
 	return s.entry, true
 }
 
 // Put records the table's answer for key at generation gen.
 func (c *MicroCache) Put(key CacheKey, gen uint64, e *Entry) {
-	if len(c.slots) >= c.max {
-		// Cheap pseudo-random eviction: drop an arbitrary slot. Map
-		// iteration order is random enough for a cache.
-		for k := range c.slots {
-			delete(c.slots, k)
-			break
+	sh := c.shard(&key)
+	sh.mu.Lock()
+	if len(sh.slots) >= c.maxPerShard {
+		if _, exists := sh.slots[key]; !exists {
+			// Cheap pseudo-random eviction: drop an arbitrary slot. Map
+			// iteration order is random enough for a cache.
+			for k := range sh.slots {
+				delete(sh.slots, k)
+				break
+			}
 		}
 	}
-	c.slots[key] = cacheSlot{gen: gen, entry: e}
+	sh.slots[key] = cacheSlot{gen: gen, entry: e}
+	sh.mu.Unlock()
 }
 
 // Len returns the number of cached microflows.
-func (c *MicroCache) Len() int { return len(c.slots) }
+func (c *MicroCache) Len() int {
+	n := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += len(sh.slots)
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Hits returns the total cache hits.
+func (c *MicroCache) Hits() uint64 {
+	var n uint64
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += sh.hits
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Misses returns the total cache misses.
+func (c *MicroCache) Misses() uint64 {
+	var n uint64
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		n += sh.misses
+		sh.mu.Unlock()
+	}
+	return n
+}
 
 // Reset drops every slot.
-func (c *MicroCache) Reset() { clear(c.slots) }
+func (c *MicroCache) Reset() {
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		clear(sh.slots)
+		sh.mu.Unlock()
+	}
+}

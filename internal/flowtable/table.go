@@ -5,11 +5,22 @@
 // longest-prefix-match trie, and tuple-space search for wildcard rules.
 // The alternative structures exist both as substrates for the apps and
 // as the comparison set for the lookup-scaling experiment (E2).
+//
+// Concurrency model: Table follows the read-copy-update discipline of
+// the software datapath. Mutations (Add/Modify/Delete/Sweep) must be
+// externally serialized — the switch's control mutex does this — and
+// each mutation publishes a fresh immutable view of the entry list
+// through an atomic pointer. Lookup, Entries, Gen, Len and Stats read
+// that view and are safe to call concurrently with mutations and with
+// each other; they never block a writer and a writer never blocks
+// them. Hit accounting uses atomics (per-entry counters, per-table
+// striped counters) so the read path stays contention-free.
 package flowtable
 
 import (
 	"errors"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/packet"
@@ -22,7 +33,11 @@ var (
 	ErrTableFull = errors.New("flowtable: table full")
 )
 
-// Entry is one installed flow rule plus its runtime state.
+// Entry is one installed flow rule plus its runtime state. Match,
+// Priority, Cookie, Actions, Flags, timeouts and Created are immutable
+// after installation (FlowModify replaces the entry rather than
+// mutating it in place), so concurrent readers may use them freely.
+// The hit counters are atomics updated by concurrent lookups.
 type Entry struct {
 	Match    zof.Match
 	Priority uint16
@@ -33,17 +48,55 @@ type Entry struct {
 	IdleTimeout time.Duration // zero = never idles out
 	HardTimeout time.Duration // zero = never hard-expires
 
-	Created  time.Time
-	LastUsed time.Time
-	Packets  uint64
-	Bytes    uint64
+	Created time.Time
+
+	packets  atomic.Uint64
+	bytes    atomic.Uint64
+	lastUsed atomic.Int64 // unix nanos
 }
 
-// touch records a hit of n bytes at time now.
-func (e *Entry) touch(now time.Time, bytes int) {
-	e.LastUsed = now
-	e.Packets++
-	e.Bytes += uint64(bytes)
+// Packets returns the entry's packet counter.
+func (e *Entry) Packets() uint64 { return e.packets.Load() }
+
+// Bytes returns the entry's byte counter.
+func (e *Entry) Bytes() uint64 { return e.bytes.Load() }
+
+// LastUsed returns the time of the entry's most recent hit.
+func (e *Entry) LastUsed() time.Time { return time.Unix(0, e.lastUsed.Load()) }
+
+// Touch records a hit of n bytes at time now. Safe for concurrent use;
+// the microflow-cached fast path calls it without any table lock.
+func (e *Entry) Touch(now time.Time, bytes int) {
+	n := now.UnixNano()
+	// Skip the store when the clock has not advanced (virtual-time
+	// benches): keeps the line clean of needless writes.
+	if e.lastUsed.Load() != n {
+		e.lastUsed.Store(n)
+	}
+	e.packets.Add(1)
+	e.bytes.Add(uint64(bytes))
+}
+
+// cloneForModify copies the entry with new actions and cookie,
+// preserving identity fields and carrying the counters over. The
+// original stays untouched so concurrent readers holding it (via a
+// table view or the microflow cache) never observe a half-written
+// action list.
+func (e *Entry) cloneForModify(actions []zof.Action, cookie uint64) *Entry {
+	ne := &Entry{
+		Match:       e.Match,
+		Priority:    e.Priority,
+		Cookie:      cookie,
+		Actions:     actions,
+		Flags:       e.Flags,
+		IdleTimeout: e.IdleTimeout,
+		HardTimeout: e.HardTimeout,
+		Created:     e.Created,
+	}
+	ne.packets.Store(e.packets.Load())
+	ne.bytes.Store(e.bytes.Load())
+	ne.lastUsed.Store(e.lastUsed.Load())
+	return ne
 }
 
 // Expired reports whether the entry has idled or hard-expired at now,
@@ -52,49 +105,112 @@ func (e *Entry) Expired(now time.Time) (bool, uint8) {
 	if e.HardTimeout > 0 && now.Sub(e.Created) >= e.HardTimeout {
 		return true, zof.RemovedHardTimeout
 	}
-	if e.IdleTimeout > 0 && now.Sub(e.LastUsed) >= e.IdleTimeout {
+	if e.IdleTimeout > 0 && now.Sub(e.LastUsed()) >= e.IdleTimeout {
 		return true, zof.RemovedIdleTimeout
 	}
 	return false, 0
 }
 
-// Table is the authoritative flow table: entries ordered by descending
-// priority (stable within equal priority), linear lookup. It is not
-// internally locked; the datapath serializes access.
-type Table struct {
+// counterStripes spreads a hot counter over several cache lines so
+// concurrent ingress ports don't serialize on one line. Eight stripes
+// cover the port counts the emulator runs per switch; the stripe hint
+// is the ingress port number.
+const counterStripes = 8
+
+type stripedCounter [counterStripes]struct {
+	n atomic.Uint64
+	_ [56]byte // pad to a cache line
+}
+
+func (c *stripedCounter) add(hint uint32) { c[hint%counterStripes].n.Add(1) }
+
+func (c *stripedCounter) load() uint64 {
+	var sum uint64
+	for i := range c {
+		sum += c[i].n.Load()
+	}
+	return sum
+}
+
+// tableView is one immutable published state of a table: the entries
+// in priority order plus the generation that produced them. Readers
+// load it once and work against a consistent snapshot.
+type tableView struct {
 	entries []*Entry
+	gen     uint64
+}
+
+// Table is the authoritative flow table: entries ordered by descending
+// priority (stable within equal priority), linear lookup. Mutations
+// must be externally serialized; reads go through the published view
+// and are lock-free (see the package comment).
+type Table struct {
+	entries []*Entry // writer-owned; never aliased by a view
 	maxSize int
 	gen     uint64 // bumped on every mutation; consumed by MicroCache
 
-	Lookups uint64 // total lookups (table stats)
-	Matches uint64 // lookups that hit
+	view atomic.Pointer[tableView]
+
+	lookups stripedCounter // total lookups (table stats)
+	matches stripedCounter // lookups that hit
 }
 
 // NewTable returns a table bounded at maxSize entries (0 = unbounded).
 func NewTable(maxSize int) *Table {
-	return &Table{maxSize: maxSize}
+	t := &Table{maxSize: maxSize}
+	t.view.Store(&tableView{})
+	return t
+}
+
+// publish snapshots the writer's entry list into a fresh view. The
+// clone is what makes in-place edits of t.entries safe: no reader ever
+// holds the writer's backing array.
+func (t *Table) publish() {
+	t.view.Store(&tableView{
+		entries: append([]*Entry(nil), t.entries...),
+		gen:     t.gen,
+	})
 }
 
 // Len returns the number of installed entries.
-func (t *Table) Len() int { return len(t.entries) }
+func (t *Table) Len() int { return len(t.view.Load().entries) }
 
 // Gen returns the mutation generation, used for cache invalidation.
-func (t *Table) Gen() uint64 { return t.gen }
+func (t *Table) Gen() uint64 { return t.view.Load().gen }
 
-// Entries returns the live entries in priority order. The slice is owned
-// by the table; callers must not mutate it.
-func (t *Table) Entries() []*Entry { return t.entries }
+// Lookups returns the total number of lookups (table stats).
+func (t *Table) Lookups() uint64 { return t.lookups.load() }
+
+// Matches returns the number of lookups that hit (table stats).
+func (t *Table) Matches() uint64 { return t.matches.load() }
+
+// NoteLookup accounts one lookup against the table counters without
+// performing it — the datapath's microflow-cache hit path. hint picks
+// the counter stripe; callers pass the ingress port.
+func (t *Table) NoteLookup(hint uint32, matched bool) {
+	t.lookups.add(hint)
+	if matched {
+		t.matches.add(hint)
+	}
+}
+
+// Entries returns the live entries in priority order as an immutable
+// snapshot; callers must not mutate it. Safe under concurrent
+// mutation — the slice is never updated in place.
+func (t *Table) Entries() []*Entry { return t.view.Load().entries }
 
 // Add installs a new entry per OpenFlow FlowAdd: an existing entry with
 // identical match and priority is replaced (counters reset); with
 // checkOverlap set, an entry whose match could overlap an existing one
 // at equal priority is refused.
 func (t *Table) Add(e *Entry, checkOverlap bool, now time.Time) error {
-	e.Created, e.LastUsed = now, now
+	e.Created = now
+	e.lastUsed.Store(now.UnixNano())
 	for i, old := range t.entries {
 		if old.Priority == e.Priority && old.Match == e.Match {
 			t.entries[i] = e
 			t.gen++
+			t.publish()
 			return nil
 		}
 	}
@@ -117,23 +233,25 @@ func (t *Table) Add(e *Entry, checkOverlap bool, now time.Time) error {
 	copy(t.entries[i+1:], t.entries[i:])
 	t.entries[i] = e
 	t.gen++
+	t.publish()
 	return nil
 }
 
 // Modify updates the actions (and cookie) of every entry subsumed by m,
-// preserving counters, per OpenFlow FlowModify. It returns the number of
-// entries changed.
+// preserving counters, per OpenFlow FlowModify. Each affected entry is
+// replaced by a copy (read-copy-update) so in-flight lookups keep a
+// consistent action list. It returns the number of entries changed.
 func (t *Table) Modify(m zof.Match, actions []zof.Action, cookie uint64) int {
 	n := 0
-	for _, e := range t.entries {
+	for i, e := range t.entries {
 		if m.Subsumes(&e.Match) {
-			e.Actions = actions
-			e.Cookie = cookie
+			t.entries[i] = e.cloneForModify(actions, cookie)
 			n++
 		}
 	}
 	if n > 0 {
 		t.gen++
+		t.publish()
 	}
 	return n
 }
@@ -168,22 +286,24 @@ func (t *Table) deleteIf(pred func(*Entry) bool) []*Entry {
 	t.entries = kept
 	if len(removed) > 0 {
 		t.gen++
+		t.publish()
 	}
 	return removed
 }
 
 // Lookup returns the highest-priority entry matching the frame on
 // inPort, updating its counters, or nil. bytes is the frame length for
-// byte counters.
+// byte counters. Lock-free: it walks the published view and may run
+// concurrently with mutations, observing either the old or new state.
 func (t *Table) Lookup(f *packet.Frame, inPort uint32, bytes int, now time.Time) *Entry {
-	t.Lookups++
-	for _, e := range t.entries {
+	for _, e := range t.view.Load().entries {
 		if e.Match.MatchesFrame(f, inPort) {
-			e.touch(now, bytes)
-			t.Matches++
+			e.Touch(now, bytes)
+			t.NoteLookup(inPort, true)
 			return e
 		}
 	}
+	t.NoteLookup(inPort, false)
 	return nil
 }
 
@@ -205,6 +325,7 @@ func (t *Table) Sweep(now time.Time) []Removed {
 	t.entries = kept
 	if len(out) > 0 {
 		t.gen++
+		t.publish()
 	}
 	return out
 }
@@ -219,8 +340,8 @@ type Removed struct {
 func (t *Table) Stats(id uint8) zof.TableStats {
 	return zof.TableStats{
 		TableID:      id,
-		ActiveCount:  uint32(len(t.entries)),
-		LookupCount:  t.Lookups,
-		MatchedCount: t.Matches,
+		ActiveCount:  uint32(t.Len()),
+		LookupCount:  t.Lookups(),
+		MatchedCount: t.Matches(),
 	}
 }

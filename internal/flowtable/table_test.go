@@ -59,15 +59,15 @@ func TestTablePriorityOrder(t *testing.T) {
 	if got := tbl.Lookup(f2, 1, 100, t0); got != lo {
 		t.Fatalf("lookup = %v, want lo", got)
 	}
-	if tbl.Lookups != 2 || tbl.Matches != 2 {
-		t.Errorf("stats = %d/%d", tbl.Lookups, tbl.Matches)
+	if tbl.Lookups() != 2 || tbl.Matches() != 2 {
+		t.Errorf("stats = %d/%d", tbl.Lookups(), tbl.Matches())
 	}
 }
 
 func TestTableAddReplacesIdentical(t *testing.T) {
 	tbl := NewTable(0)
 	a := dstMatch(packet.IPv4Addr{10, 0, 0, 0}, 8, 10)
-	a.Packets = 5
+	a.Touch(t0, 100) // counters reset on replacement
 	if err := tbl.Add(a, false, t0); err != nil {
 		t.Fatal(err)
 	}
@@ -120,9 +120,11 @@ func TestTableFull(t *testing.T) {
 func TestTableModify(t *testing.T) {
 	tbl := NewTable(0)
 	e := dstMatch(packet.IPv4Addr{10, 1, 0, 0}, 16, 10)
-	e.Packets = 3
 	if err := tbl.Add(e, false, t0); err != nil {
 		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		e.Touch(t0, 1)
 	}
 	m := zof.MatchAll()
 	m.IPDst = packet.IPv4Addr{10, 0, 0, 0}
@@ -131,8 +133,15 @@ func TestTableModify(t *testing.T) {
 	if n != 1 {
 		t.Fatalf("modified %d", n)
 	}
-	if e.Actions[0].Port != 9 || e.Cookie != 77 || e.Packets != 3 {
-		t.Errorf("entry after modify = %+v", e)
+	// Modify is copy-on-write: the table now holds a replacement entry
+	// with the new actions and the preserved counters, while the old
+	// entry (still visible to in-flight readers) is untouched.
+	ne := tbl.Entries()[0]
+	if ne.Actions[0].Port != 9 || ne.Cookie != 77 || ne.Packets() != 3 {
+		t.Errorf("entry after modify = %+v", ne)
+	}
+	if e.Actions[0].Port == 9 {
+		t.Error("modify mutated the live entry in place")
 	}
 	// Narrower modify match does not subsume the /16 rule's full range.
 	m.DstPrefix = 24
@@ -222,13 +231,13 @@ func TestTableCountersMonotone(t *testing.T) {
 	var lastP, lastB uint64
 	for i := 1; i <= 10; i++ {
 		tbl.Lookup(f, 1, 100, t0.Add(time.Duration(i)*time.Second))
-		if e.Packets <= lastP || e.Bytes <= lastB {
-			t.Fatalf("counters not monotone at %d: %d/%d", i, e.Packets, e.Bytes)
+		if e.Packets() <= lastP || e.Bytes() <= lastB {
+			t.Fatalf("counters not monotone at %d: %d/%d", i, e.Packets(), e.Bytes())
 		}
-		lastP, lastB = e.Packets, e.Bytes
+		lastP, lastB = e.Packets(), e.Bytes()
 	}
-	if e.Packets != 10 || e.Bytes != 1000 {
-		t.Errorf("counters = %d/%d", e.Packets, e.Bytes)
+	if e.Packets() != 10 || e.Bytes() != 1000 {
+		t.Errorf("counters = %d/%d", e.Packets(), e.Bytes())
 	}
 }
 
@@ -238,7 +247,7 @@ func TestMicroCache(t *testing.T) {
 	if err := tbl.Add(e, false, t0); err != nil {
 		t.Fatal(err)
 	}
-	cache := NewMicroCache(4)
+	cache := NewMicroCache(128)
 	f := mkFrame(t, packet.IPv4Addr{1, 1, 1, 1}, packet.IPv4Addr{10, 1, 0, 5}, 9, 9)
 	key := MakeCacheKey(f, 3)
 
@@ -264,14 +273,17 @@ func TestMicroCache(t *testing.T) {
 	if !ok || got != nil {
 		t.Fatal("cached miss not returned")
 	}
-	// Eviction keeps the cache bounded.
-	for i := 0; i < 100; i++ {
+	// Eviction keeps the cache bounded (per shard, so overall too).
+	for i := 0; i < 2000; i++ {
 		k := key
 		k.InPort = uint32(i + 10)
 		cache.Put(k, tbl.Gen(), nil)
 	}
-	if cache.Len() > 4 {
-		t.Errorf("cache len = %d, want <= 4", cache.Len())
+	if cache.Len() > 128 {
+		t.Errorf("cache len = %d, want <= 128", cache.Len())
+	}
+	if cache.Hits() == 0 || cache.Misses() == 0 {
+		t.Errorf("hit/miss counters = %d/%d", cache.Hits(), cache.Misses())
 	}
 }
 

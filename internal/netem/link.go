@@ -26,11 +26,23 @@ type PipeConfig struct {
 	BurstBytes int
 }
 
+// framePool recycles the queue's frame copies so a busy link allocates
+// nothing per frame at steady state.
+var framePool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 2048)
+	return &b
+}}
+
 // Pipe is one direction of a link: a bounded queue, a pump goroutine,
 // and delivery into the far end. Frames overflowing the queue are tail
 // dropped, which is what bounds broadcast storms in looped topologies.
+//
+// Queued frames live in pooled buffers returned to the pool after
+// delivery, so the deliver callback must not retain its argument past
+// the call (the switch pipeline and host delivery both copy what they
+// keep).
 type Pipe struct {
-	ch      chan []byte
+	ch      chan *[]byte
 	quit    chan struct{}
 	deliver func([]byte)
 	cfg     PipeConfig
@@ -51,7 +63,7 @@ func NewPipe(cfg PipeConfig, deliver func([]byte)) *Pipe {
 		cfg.QueueLen = 256
 	}
 	p := &Pipe{
-		ch:      make(chan []byte, cfg.QueueLen),
+		ch:      make(chan *[]byte, cfg.QueueLen),
 		quit:    make(chan struct{}),
 		deliver: deliver,
 		cfg:     cfg,
@@ -76,7 +88,8 @@ func (p *Pipe) pump() {
 		select {
 		case <-p.quit:
 			return
-		case data := <-p.ch:
+		case bp := <-p.ch:
+			data := *bp
 			if bytesPerSec > 0 {
 				now := time.Now()
 				tokens += now.Sub(last).Seconds() * bytesPerSec
@@ -106,9 +119,11 @@ func (p *Pipe) pump() {
 			}
 			if p.down.Load() {
 				p.Dropped.Add(1)
+				framePool.Put(bp)
 				continue
 			}
 			p.deliver(data)
+			framePool.Put(bp)
 		}
 	}
 }
@@ -128,14 +143,16 @@ func (p *Pipe) Send(data []byte) bool {
 			return false
 		}
 	}
-	cp := append([]byte(nil), data...)
+	bp := framePool.Get().(*[]byte)
+	*bp = append((*bp)[:0], data...)
 	select {
-	case p.ch <- cp:
+	case p.ch <- bp:
 		p.Sent.Add(1)
 		p.Bytes.Add(uint64(len(data)))
 		return true
 	default:
 		p.Dropped.Add(1)
+		framePool.Put(bp)
 		return false
 	}
 }

@@ -20,6 +20,11 @@ type Config struct {
 
 // Network is an emulated topology: one software switch per graph node,
 // a bidirectional Pipe pair per link, and hosts attached at the edge.
+//
+// Every pipe delivers from its own pump goroutine straight into
+// Switch.HandleFrame, which is lock-free: frames arriving on different
+// links of the same switch genuinely forward in parallel, like packets
+// hitting different ports of real silicon.
 type Network struct {
 	Graph    *topo.Graph
 	Switches map[topo.NodeID]*dataplane.Switch
