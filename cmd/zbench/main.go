@@ -1,5 +1,5 @@
 // Command zbench regenerates the synthetic evaluation suite declared
-// in DESIGN.md: every experiment (E1-E7 plus ablations) prints the
+// in DESIGN.md: every experiment (E1-E8 plus ablations) prints the
 // table or series its SIGCOMM'13-style counterpart would report.
 //
 // Usage:
@@ -20,10 +20,10 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id: e1,e1a,e2,e3,e3a,e4,e5,e6,e7 or all")
+	exp := flag.String("exp", "all", "experiment id: e1,e1a,e2,e3,e3a,e4,e5,e6,e7,e8 or all")
 	quick := flag.Bool("quick", false, "reduced parameters for a fast pass")
 	seed := flag.Int64("seed", 1, "workload seed")
-	jsonOut := flag.String("json", "", "also write machine-readable results to this file (e7)")
+	jsonOut := flag.String("json", "", "also write machine-readable results to this file (e7,e8)")
 	flag.Parse()
 
 	run := func(id string) bool {
@@ -129,6 +129,28 @@ func main() {
 			cfg.Measure = 100 * time.Millisecond
 		}
 		t, res, err := experiments.E7PipelineParallel(cfg)
+		if err != nil {
+			fail(err)
+		}
+		t.Fprint(os.Stdout)
+		if *jsonOut != "" {
+			data, err := json.MarshalIndent(res, "", "  ")
+			if err != nil {
+				fail(err)
+			}
+			if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+				fail(err)
+			}
+		}
+	}
+	if run("e8") {
+		ran++
+		cfg := experiments.E8Config{}
+		if *quick {
+			cfg.SwitchCounts = []int{1, 4, 16}
+			cfg.Duration = 500 * time.Millisecond
+		}
+		t, res, err := experiments.E8ControlPlaneScaling(cfg)
 		if err != nil {
 			fail(err)
 		}

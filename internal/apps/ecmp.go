@@ -73,6 +73,10 @@ func (e *ECMPRouting) PacketIn(c *controller.Controller, ev controller.PacketInE
 		if !ok {
 			continue
 		}
+		// The per-switch install is a burst: an optional GroupMod
+		// followed by the FlowMod referencing it, framed back to back
+		// on the same connection so the group exists before the flow.
+		var burst []zof.Message
 		var action zof.Action
 		if uint64(node) == dst.DPID {
 			action = zof.Output(dst.Port)
@@ -108,7 +112,7 @@ func (e *ECMPRouting) PacketIn(c *controller.Controller, ev controller.PacketInE
 					if len(gm.Buckets) == 0 {
 						return false
 					}
-					_ = sc.InstallGroup(gm)
+					burst = append(burst, gm)
 				}
 				action = zof.Group(gid)
 			}
@@ -124,7 +128,8 @@ func (e *ECMPRouting) PacketIn(c *controller.Controller, ev controller.PacketInE
 		if uint64(node) == ev.DPID {
 			fm.BufferID = ev.Msg.BufferID
 		}
-		_ = sc.InstallFlow(fm)
+		burst = append(burst, fm)
+		_ = sc.SendBatch(burst...)
 	}
 	return true
 }

@@ -108,10 +108,10 @@ func (lb *LoadBalancer) PacketIn(c *controller.Controller, ev controller.PacketI
 		return true
 	}
 	fwdActs = append(fwdActs, zof.Output(out))
-	_ = sc.InstallFlow(&zof.FlowMod{
+	fwdMod := &zof.FlowMod{
 		Command: zof.FlowAdd, Match: fwd, Priority: lb.Priority,
 		IdleTimeout: lb.IdleTimeout, BufferID: ev.Msg.BufferID, Actions: fwdActs,
-	})
+	}
 
 	// Reverse rule: backend -> client rewritten to come from the VIP,
 	// delivered out the client port.
@@ -133,10 +133,12 @@ func (lb *LoadBalancer) PacketIn(c *controller.Controller, ev controller.PacketI
 		zof.SetEthSrc(lb.VIPMAC),
 		zof.Output(ev.Msg.InPort),
 	}
-	_ = sc.InstallFlow(&zof.FlowMod{
+	revMod := &zof.FlowMod{
 		Command: zof.FlowAdd, Match: rev, Priority: lb.Priority,
 		IdleTimeout: lb.IdleTimeout, BufferID: zof.NoBuffer, Actions: revActs,
-	})
+	}
+	// The NAT rule pair is one burst: one write, one syscall.
+	_ = sc.SendBatch(fwdMod, revMod)
 
 	lb.mu.Lock()
 	lb.decisions[packet.ExtractFlowKey(&f)] = backend

@@ -73,7 +73,11 @@ func (r *Routing) PacketIn(c *controller.Controller, ev controller.PacketInEvent
 	}
 
 	// Install hop by hop, destination-first so the path is consistent
-	// by the time the packet is released.
+	// by the time the packet is released. Messages to one switch are
+	// collected and sent as one batch (one flush): simple paths visit
+	// a switch once, but multi-rule installs (and any future
+	// multi-table programs) coalesce for free.
+	perSwitch := make(map[uint64][]zof.Message, len(path.Nodes))
 	for i := len(path.Nodes) - 1; i >= 0; i-- {
 		node := path.Nodes[i]
 		var outPort uint32
@@ -86,8 +90,7 @@ func (r *Routing) PacketIn(c *controller.Controller, ev controller.PacketInEvent
 			}
 			outPort = p
 		}
-		sc, ok := c.Switch(uint64(node))
-		if !ok {
+		if _, ok := c.Switch(uint64(node)); !ok {
 			continue
 		}
 		fm := &zof.FlowMod{
@@ -102,8 +105,18 @@ func (r *Routing) PacketIn(c *controller.Controller, ev controller.PacketInEvent
 		if uint64(node) == ev.DPID {
 			fm.BufferID = ev.Msg.BufferID
 		}
-		_ = sc.InstallFlow(fm)
-		holders = append(holders, uint64(node))
+		if perSwitch[uint64(node)] == nil {
+			holders = append(holders, uint64(node))
+		}
+		perSwitch[uint64(node)] = append(perSwitch[uint64(node)], fm)
+	}
+	// Destination-first order across switches: holders was appended
+	// walking the path backward, so send in that order, packet-in
+	// switch (the releaser) last.
+	for _, node := range holders {
+		if sc, ok := c.Switch(node); ok {
+			_ = sc.SendBatch(perSwitch[node]...)
+		}
 	}
 	r.mu.Lock()
 	r.installed[key] = holders

@@ -4,9 +4,12 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/packet"
 	"repro/internal/zof"
 )
@@ -17,8 +20,21 @@ type Config struct {
 	Addr string
 	// HandshakeTimeout bounds the per-connection handshake.
 	HandshakeTimeout time.Duration
-	// EventQueue is the dispatcher's buffer; 0 means 4096.
+	// EventQueue is each dispatch shard's buffer; 0 means 4096.
 	EventQueue int
+	// DispatchWorkers is the number of sharded dispatch goroutines.
+	// Events are keyed by DPID, so one switch's events always land on
+	// one shard (per-switch FIFO), while different switches dispatch
+	// in parallel. 0 means min(GOMAXPROCS, 16); 1 restores the fully
+	// serialized dispatcher.
+	DispatchWorkers int
+	// FlushDelay tunes southbound write coalescing on switch
+	// connections: 0 enables flush-on-idle (a flusher goroutine
+	// batches whatever accumulates while it waits for the write lock),
+	// positive adds a delay window for more batching, negative
+	// disables coalescing (flush per message, the pre-sharding
+	// behavior).
+	FlushDelay time.Duration
 	// Discovery enables periodic LLDP topology probing.
 	Discovery bool
 	// DiscoveryInterval is the probing period (default 500ms).
@@ -27,6 +43,20 @@ type Config struct {
 	Logf func(format string, args ...any)
 }
 
+// DispatchStats are the control plane's event-path health counters.
+type DispatchStats struct {
+	// Dispatched counts events handed to the app chain.
+	Dispatched metrics.Counter
+	// Dropped counts events discarded because their shard's queue was
+	// full — the overload signal: a saturated control plane sheds
+	// packet-ins rather than deadlocking connection readers.
+	Dropped metrics.Counter
+}
+
+// switchMap is the RCU-published registry snapshot: readers load the
+// pointer; writers clone under c.mu and republish.
+type switchMap map[uint64]*SwitchConn
+
 // Controller is the zen control plane.
 type Controller struct {
 	cfg  Config
@@ -34,15 +64,21 @@ type Controller struct {
 	nib  *NIB
 	disc *discovery
 
-	mu       sync.Mutex
-	switches map[uint64]*SwitchConn
-	apps     []App
-	closed   bool
+	// mu serializes mutators (switch registration, app registration,
+	// close). The hot paths — Switch, Switches, dispatch — read the
+	// atomic snapshots below and never take it.
+	mu     sync.Mutex
+	closed bool
 
-	events chan Event
+	switches atomic.Pointer[switchMap]
+	apps     atomic.Pointer[[]App]
+
+	shards []chan Event
 	quit   chan struct{}
 	loopWG sync.WaitGroup
 	connWG sync.WaitGroup
+
+	stats DispatchStats
 }
 
 // New starts a controller listening on cfg.Addr.
@@ -52,6 +88,12 @@ func New(cfg Config) (*Controller, error) {
 	}
 	if cfg.EventQueue <= 0 {
 		cfg.EventQueue = 4096
+	}
+	if cfg.DispatchWorkers <= 0 {
+		cfg.DispatchWorkers = runtime.GOMAXPROCS(0)
+		if cfg.DispatchWorkers > 16 {
+			cfg.DispatchWorkers = 16
+		}
 	}
 	if cfg.HandshakeTimeout <= 0 {
 		cfg.HandshakeTimeout = 5 * time.Second
@@ -67,17 +109,23 @@ func New(cfg Config) (*Controller, error) {
 		return nil, fmt.Errorf("controller listen: %w", err)
 	}
 	c := &Controller{
-		cfg:      cfg,
-		ln:       ln,
-		nib:      NewNIB(),
-		switches: make(map[uint64]*SwitchConn),
-		events:   make(chan Event, cfg.EventQueue),
-		quit:     make(chan struct{}),
+		cfg:    cfg,
+		ln:     ln,
+		nib:    NewNIB(),
+		shards: make([]chan Event, cfg.DispatchWorkers),
+		quit:   make(chan struct{}),
 	}
+	empty := make(switchMap)
+	c.switches.Store(&empty)
+	noApps := []App(nil)
+	c.apps.Store(&noApps)
 	c.disc = newDiscovery(c)
-	c.loopWG.Add(2)
+	c.loopWG.Add(1 + len(c.shards))
 	go c.acceptLoop()
-	go c.eventLoop()
+	for i := range c.shards {
+		c.shards[i] = make(chan Event, cfg.EventQueue)
+		go c.dispatchLoop(c.shards[i])
+	}
 	if cfg.Discovery {
 		c.disc.start(cfg.DiscoveryInterval)
 	}
@@ -90,31 +138,85 @@ func (c *Controller) Addr() string { return c.ln.Addr().String() }
 // NIB exposes the network information base.
 func (c *Controller) NIB() *NIB { return c.nib }
 
+// Stats exposes the dispatch health counters.
+func (c *Controller) Stats() *DispatchStats { return &c.stats }
+
+// QueuedEvents returns the instantaneous number of events waiting
+// across all dispatch shards.
+func (c *Controller) QueuedEvents() int {
+	n := 0
+	for _, sh := range c.shards {
+		n += len(sh)
+	}
+	return n
+}
+
 // Use registers apps, in dispatch order. Call before switches connect
-// for deterministic behavior; registration is safe at any time.
+// for deterministic behavior; registration is safe at any time and
+// never stalls in-flight dispatch — the app list is republished
+// copy-on-write and workers read the snapshot lock-free.
 func (c *Controller) Use(apps ...App) {
 	c.mu.Lock()
-	c.apps = append(c.apps, apps...)
+	old := *c.apps.Load()
+	next := make([]App, 0, len(old)+len(apps))
+	next = append(append(next, old...), apps...)
+	c.apps.Store(&next)
 	c.mu.Unlock()
 }
 
-// Switch returns the live connection for dpid.
+// Switch returns the live connection for dpid. Lock-free.
 func (c *Controller) Switch(dpid uint64) (*SwitchConn, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	s, ok := c.switches[dpid]
+	s, ok := (*c.switches.Load())[dpid]
 	return s, ok
 }
 
-// Switches snapshots the live connections.
+// Switches snapshots the live connections. Lock-free.
 func (c *Controller) Switches() []*SwitchConn {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	out := make([]*SwitchConn, 0, len(c.switches))
-	for _, s := range c.switches {
+	m := *c.switches.Load()
+	out := make([]*SwitchConn, 0, len(m))
+	for _, s := range m {
 		out = append(out, s)
 	}
 	return out
+}
+
+// registerSwitch publishes sc in the registry (newest connection wins,
+// like OVS reconnects). It reports false when the controller is closed.
+func (c *Controller) registerSwitch(sc *SwitchConn) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return false
+	}
+	old := *c.switches.Load()
+	next := make(switchMap, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	if prev, dup := next[sc.dpid]; dup {
+		prev.close()
+	}
+	next[sc.dpid] = sc
+	c.switches.Store(&next)
+	return true
+}
+
+// unregisterSwitch removes sc if it is still the registered connection
+// for its dpid, reporting whether the controller was already closed.
+func (c *Controller) unregisterSwitch(sc *SwitchConn) (stillClosed bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	old := *c.switches.Load()
+	if old[sc.dpid] == sc {
+		next := make(switchMap, len(old))
+		for k, v := range old {
+			if v != sc {
+				next[k] = v
+			}
+		}
+		c.switches.Store(&next)
+	}
+	return c.closed
 }
 
 // Close stops the controller and disconnects every datapath.
@@ -125,10 +227,7 @@ func (c *Controller) Close() error {
 		return nil
 	}
 	c.closed = true
-	conns := make([]*SwitchConn, 0, len(c.switches))
-	for _, s := range c.switches {
-		conns = append(conns, s)
-	}
+	conns := c.Switches()
 	c.mu.Unlock()
 
 	c.disc.stop()
@@ -137,8 +236,8 @@ func (c *Controller) Close() error {
 		s.close()
 	}
 	c.connWG.Wait()
-	// The events channel is never closed (the dispatcher itself posts
-	// follow-up events); quit unblocks the loop instead.
+	// Shard channels are never closed (dispatch workers themselves post
+	// follow-up events); quit unblocks the loops instead.
 	close(c.quit)
 	c.loopWG.Wait()
 	return err
@@ -165,17 +264,15 @@ func (c *Controller) serve(raw net.Conn) {
 		conn.Close()
 		return
 	}
-	c.mu.Lock()
-	if c.closed {
-		c.mu.Unlock()
+	// Handshake traffic flushed per message; steady-state southbound
+	// writes coalesce unless disabled.
+	if c.cfg.FlushDelay >= 0 {
+		conn.SetAutoFlush(c.cfg.FlushDelay)
+	}
+	if !c.registerSwitch(sc) {
 		sc.close()
 		return
 	}
-	if old, dup := c.switches[sc.dpid]; dup {
-		old.close() // newest connection wins, like OVS reconnects
-	}
-	c.switches[sc.dpid] = sc
-	c.mu.Unlock()
 
 	c.nib.addSwitch(sc.features)
 	c.post(SwitchUp{DPID: sc.dpid, Features: sc.features})
@@ -205,21 +302,53 @@ func (c *Controller) serve(raw net.Conn) {
 	}
 
 	sc.close()
-	c.mu.Lock()
-	if c.switches[sc.dpid] == sc {
-		delete(c.switches, sc.dpid)
-	}
-	stillClosed := c.closed
-	c.mu.Unlock()
+	stillClosed := c.unregisterSwitch(sc)
 	c.nib.removeSwitch(sc.dpid)
 	if !stillClosed {
 		c.post(SwitchDown{DPID: sc.dpid})
 	}
 }
 
-// post enqueues an event, dropping (with a log line) if the dispatcher
-// is saturated — backpressure must not deadlock connection readers.
-// Posts racing shutdown are silently discarded.
+// eventKey returns the sharding key: the DPID whose per-switch FIFO the
+// event belongs to. Link events key on their canonical source switch;
+// unkeyed event types map to shard 0.
+func eventKey(ev Event) uint64 {
+	switch e := ev.(type) {
+	case PacketInEvent:
+		return e.DPID
+	case FlowRemovedEvent:
+		return e.DPID
+	case PortStatusEvent:
+		return e.DPID
+	case SwitchUp:
+		return e.DPID
+	case SwitchDown:
+		return e.DPID
+	case HostLearned:
+		return e.DPID
+	case LinkUp:
+		return e.SrcDPID
+	case LinkDown:
+		return e.SrcDPID
+	default:
+		return 0
+	}
+}
+
+// shardFor spreads keys across n shards; the Fibonacci multiplier keeps
+// sequential DPIDs (the common numbering) from clustering.
+func shardFor(key uint64, n int) int {
+	if n == 1 {
+		return 0
+	}
+	key *= 0x9E3779B97F4A7C15
+	return int((key >> 32) % uint64(n))
+}
+
+// post enqueues an event on its DPID's shard, dropping (with a log line
+// and a counter tick) if that shard is saturated — backpressure must
+// not deadlock connection readers. Posts racing shutdown are silently
+// discarded.
 func (c *Controller) post(ev Event) {
 	select {
 	case <-c.quit:
@@ -227,19 +356,21 @@ func (c *Controller) post(ev Event) {
 	default:
 	}
 	select {
-	case c.events <- ev:
+	case c.shards[shardFor(eventKey(ev), len(c.shards))] <- ev:
 	default:
-		c.cfg.Logf("event queue full; dropping %T", ev)
+		c.stats.Dropped.Inc()
+		c.cfg.Logf("dispatch shard full; dropping %T", ev)
 	}
 }
 
-func (c *Controller) eventLoop() {
+func (c *Controller) dispatchLoop(events <-chan Event) {
 	defer c.loopWG.Done()
 	for {
 		select {
 		case <-c.quit:
 			return
-		case ev := <-c.events:
+		case ev := <-events:
+			c.stats.Dispatched.Inc()
 			c.dispatch(ev)
 		}
 	}
@@ -251,9 +382,7 @@ func (c *Controller) dispatch(ev Event) {
 			log.Printf("controller: app panic on %T: %v", ev, r)
 		}
 	}()
-	c.mu.Lock()
-	apps := append([]App(nil), c.apps...)
-	c.mu.Unlock()
+	apps := *c.apps.Load()
 
 	// Built-in pre-processing: discovery consumes LLDP; host learning
 	// runs before apps so they can query the NIB.
@@ -325,7 +454,9 @@ func (c *Controller) learnFromPacketIn(pi PacketInEvent) {
 	}
 }
 
-// Barrier synchronizes with every connected datapath.
+// Barrier synchronizes with every connected datapath. It reads the
+// lock-free registry snapshot, so a slow datapath never stalls
+// dispatch or registration.
 func (c *Controller) Barrier(timeout time.Duration) error {
 	for _, s := range c.Switches() {
 		if err := s.Barrier(timeout); err != nil {
@@ -336,13 +467,11 @@ func (c *Controller) Barrier(timeout time.Duration) error {
 }
 
 // WaitForSwitches blocks until n datapaths are connected or the timeout
-// elapses.
+// elapses. It polls the registry snapshot without locking.
 func (c *Controller) WaitForSwitches(n int, timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
 	for {
-		c.mu.Lock()
-		got := len(c.switches)
-		c.mu.Unlock()
+		got := len(*c.switches.Load())
 		if got >= n {
 			return nil
 		}

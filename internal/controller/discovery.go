@@ -80,20 +80,24 @@ func (d *discovery) stop() {
 	d.wg.Wait()
 }
 
-// Probe sends one LLDP frame out every port of every switch. Exported
-// through the controller for tests and on-demand discovery.
+// Probe sends one LLDP frame out every port of every switch, batching
+// the per-switch burst into a single coalesced write. Exported through
+// the controller for tests and on-demand discovery.
 func (d *discovery) Probe() {
 	for _, sc := range d.c.Switches() {
+		var burst []zof.Message
 		for _, p := range d.c.nib.Ports(sc.dpid) {
 			if !p.Up() {
 				continue
 			}
-			data := buildLLDP(sc.dpid, p.No)
-			_ = sc.PacketOut(&zof.PacketOut{
+			burst = append(burst, &zof.PacketOut{
 				BufferID: zof.NoBuffer,
 				Actions:  []zof.Action{zof.Output(p.No)},
-				Data:     data,
+				Data:     buildLLDP(sc.dpid, p.No),
 			})
+		}
+		if len(burst) > 0 {
+			_ = sc.SendBatch(burst...)
 		}
 	}
 }

@@ -9,7 +9,11 @@ package controller
 import "repro/internal/zof"
 
 // Event is anything the control plane reacts to. Events are dispatched
-// to applications on a single goroutine, in order.
+// on a pool of shard workers keyed by DPID: everything concerning one
+// switch is handled in FIFO order on one goroutine, while events of
+// different switches may run concurrently. Apps must therefore be safe
+// for concurrent handler invocation (every bundled app is; each guards
+// its own state).
 type Event any
 
 // SwitchUp fires when a datapath completes its handshake.

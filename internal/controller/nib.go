@@ -116,10 +116,25 @@ func (n *NIB) removeLink(a uint64, ap uint32, b uint64, bp uint32) bool {
 }
 
 // learnHost records a host sighting; returns true if new or moved.
+// The steady state — the same host seen at the same place — is a pure
+// read and takes only the read lock, so concurrent dispatch shards do
+// not serialize on host-learning writes.
 func (n *NIB) learnHost(mac packet.MAC, ip packet.IPv4Addr, dpid uint64, port uint32) bool {
 	if mac.IsMulticast() || mac.IsBroadcast() {
 		return false
 	}
+	n.mu.RLock()
+	if n.isSwitchPortLocked(dpid, port) {
+		n.mu.RUnlock()
+		return false
+	}
+	if old, ok := n.hosts[mac]; ok && old.DPID == dpid && old.Port == port &&
+		(ip == old.IP || ip == (packet.IPv4Addr{})) {
+		n.mu.RUnlock()
+		return false
+	}
+	n.mu.RUnlock()
+
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	// Ignore sightings on inter-switch ports: those are transit frames,

@@ -79,6 +79,15 @@ func (s *SwitchConn) Send(msg zof.Message) error {
 	return err
 }
 
+// SendBatch fires a burst of messages — flow-mods, packet-outs, group
+// mods — framed back to back and flushed once, so the burst costs one
+// syscall instead of one per message. Apps that emit several messages
+// per event (routing installs, LB rule pairs, discovery probes) should
+// prefer it over message-at-a-time sends.
+func (s *SwitchConn) SendBatch(msgs ...zof.Message) error {
+	return s.conn.SendBatch(msgs...)
+}
+
 // InstallFlow sends a FlowMod.
 func (s *SwitchConn) InstallFlow(fm *zof.FlowMod) error {
 	return s.Send(fm)

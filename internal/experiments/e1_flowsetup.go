@@ -22,6 +22,9 @@ type E1Config struct {
 // learning app; we record response throughput and latency quantiles.
 // Shape: throughput grows with switches until the single dispatch loop
 // saturates; p95 latency stays well under 10ms (the Maple yardstick).
+// The controller is pinned to one dispatch worker so the measurement
+// keeps its documented serialized-dispatcher shape; E8 is the scaling
+// experiment that sweeps the sharded dispatcher against this baseline.
 func E1FlowSetup(cfg E1Config) (*Table, error) {
 	if len(cfg.SwitchCounts) == 0 {
 		cfg.SwitchCounts = []int{1, 4, 16, 64}
@@ -40,10 +43,11 @@ func E1FlowSetup(cfg E1Config) (*Table, error) {
 			fmt.Sprintf("window=%d outstanding packet-ins per switch, %v per point",
 				cfg.Window, cfg.Duration),
 			"expected shape: throughput pins at the serialized dispatcher; latency grows ~linearly with switches past saturation (queueing), sub-ms at low fan-in",
+			"dispatch pinned to 1 worker (serial baseline); see E8 for sharded scaling",
 		},
 	}
 	for _, n := range cfg.SwitchCounts {
-		ctl, err := controller.New(controller.Config{EventQueue: 1 << 16})
+		ctl, err := controller.New(controller.Config{EventQueue: 1 << 16, DispatchWorkers: 1})
 		if err != nil {
 			return nil, err
 		}
@@ -84,7 +88,7 @@ func E1aProactiveVsReactive(duration time.Duration) (*Table, error) {
 		Header: []string{"app", "responses/s", "p95"},
 	}
 	for _, mode := range []string{"learning", "null"} {
-		ctl, err := controller.New(controller.Config{EventQueue: 1 << 16})
+		ctl, err := controller.New(controller.Config{EventQueue: 1 << 16, DispatchWorkers: 1})
 		if err != nil {
 			return nil, err
 		}

@@ -11,26 +11,95 @@ import (
 	"time"
 )
 
+// closeFlushWindow bounds the best-effort flush of coalesced writes
+// during Close so a dead peer cannot stall teardown.
+const closeFlushWindow = 250 * time.Millisecond
+
 // Conn frames zof messages over a byte stream. One goroutine may call
-// Receive while any number call Send; writes are serialized internally
-// and flushed per message (the control channel is latency- not
-// throughput-bound).
+// Receive while any number call Send; writes are serialized internally.
+//
+// Write flushing has two modes:
+//
+//   - Immediate (the default): every Send/SendXID flushes the message
+//     to the transport before returning — one flush (and usually one
+//     syscall) per message. Simple, lowest latency at low rates.
+//   - Coalesced (after SetAutoFlush): sends only append to the write
+//     buffer; a flusher goroutine flushes once the writer goes idle
+//     (plus an optional delay window), so a burst of messages costs a
+//     single flush. SendBatch frames a whole burst under one lock and
+//     one flush in either mode. Close flushes any coalesced writes
+//     (best-effort, bounded by closeFlushWindow) before tearing down.
 type Conn struct {
 	raw  net.Conn
 	br   *bufio.Reader
-	wmu  sync.Mutex
-	bw   *bufio.Writer
 	xid  atomic.Uint32
 	once sync.Once
 	err  atomic.Value // error
+
+	wmu     sync.Mutex
+	bw      *bufio.Writer
+	scratch []byte // per-conn encode buffer (guarded by wmu)
+	pending int    // messages buffered but not yet flushed (guarded by wmu)
+
+	// Coalescing state; immutable after SetAutoFlush.
+	autoFlush  bool
+	flushDelay time.Duration
+	flushReq   chan struct{}
+	flushQuit  chan struct{}
+	flusherWG  sync.WaitGroup
 }
 
-// NewConn wraps a net.Conn.
+// NewConn wraps a net.Conn in immediate-flush mode.
 func NewConn(raw net.Conn) *Conn {
 	return &Conn{
 		raw: raw,
 		br:  bufio.NewReaderSize(raw, 64<<10),
 		bw:  bufio.NewWriterSize(raw, 64<<10),
+	}
+}
+
+// SetAutoFlush switches the connection to coalesced writes: sends
+// buffer their frames and a flusher goroutine issues the flush as soon
+// as it can take the write lock — so messages written while a flush is
+// pending ride the same syscall. A positive delay widens the window by
+// sleeping before flushing (more batching, more latency); 0 flushes on
+// idle. Call at most once, before the connection is used concurrently.
+func (c *Conn) SetAutoFlush(delay time.Duration) {
+	if c.autoFlush {
+		return
+	}
+	c.autoFlush = true
+	if delay < 0 {
+		delay = 0
+	}
+	c.flushDelay = delay
+	c.flushReq = make(chan struct{}, 1)
+	c.flushQuit = make(chan struct{})
+	c.flusherWG.Add(1)
+	go c.flusher()
+}
+
+// flusher drains flush requests until Close.
+func (c *Conn) flusher() {
+	defer c.flusherWG.Done()
+	for {
+		select {
+		case <-c.flushQuit:
+			return
+		case <-c.flushReq:
+			if c.flushDelay > 0 {
+				select {
+				case <-c.flushQuit:
+					return // Close performs the final flush
+				case <-time.After(c.flushDelay):
+				}
+			}
+			c.wmu.Lock()
+			if c.pending > 0 {
+				_ = c.flushLocked()
+			}
+			c.wmu.Unlock()
+		}
 	}
 }
 
@@ -50,17 +119,76 @@ func (c *Conn) Send(msg Message) (uint32, error) {
 }
 
 // SendXID marshals and writes msg with the caller's XID (used to answer a
-// request with the same transaction id).
+// request with the same transaction id). Encoding reuses a per-conn
+// buffer, so the steady state allocates nothing.
 func (c *Conn) SendXID(msg Message, xid uint32) error {
-	b, err := Marshal(msg, xid)
-	if err != nil {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if err := c.writeLocked(msg, xid); err != nil {
 		return err
+	}
+	return c.finishLocked()
+}
+
+// SendBatch frames every message back to back with fresh XIDs and
+// flushes once: a burst of flow-mods or packet-outs costs one flush
+// (one syscall) instead of one per message.
+func (c *Conn) SendBatch(msgs ...Message) error {
+	if len(msgs) == 0 {
+		return nil
 	}
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
+	for _, m := range msgs {
+		if err := c.writeLocked(m, c.NextXID()); err != nil {
+			return err
+		}
+	}
+	return c.flushLocked()
+}
+
+// Flush forces any buffered writes to the transport.
+func (c *Conn) Flush() error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return c.flushLocked()
+}
+
+// writeLocked encodes msg into the shared scratch buffer and copies it
+// into the write buffer. Callers hold wmu.
+func (c *Conn) writeLocked(msg Message, xid uint32) error {
+	if err := c.Err(); err != nil {
+		return err
+	}
+	b, err := MarshalAppend(c.scratch[:0], msg, xid)
+	if err != nil {
+		return err
+	}
+	c.scratch = b[:0]
 	if _, err := c.bw.Write(b); err != nil {
 		return c.fail(err)
 	}
+	c.pending++
+	return nil
+}
+
+// finishLocked completes one send: immediate mode flushes now;
+// coalesced mode wakes the flusher on the 0→pending transition.
+func (c *Conn) finishLocked() error {
+	if !c.autoFlush {
+		return c.flushLocked()
+	}
+	if c.pending == 1 {
+		select {
+		case c.flushReq <- struct{}{}:
+		default: // a flush is already scheduled
+		}
+	}
+	return nil
+}
+
+func (c *Conn) flushLocked() error {
+	c.pending = 0
 	if err := c.bw.Flush(); err != nil {
 		return c.fail(err)
 	}
@@ -101,11 +229,29 @@ func (c *Conn) SetDeadline(t time.Time) error { return c.raw.SetDeadline(t) }
 // SetReadDeadline applies to the underlying transport.
 func (c *Conn) SetReadDeadline(t time.Time) error { return c.raw.SetReadDeadline(t) }
 
-// Close shuts the transport; safe to call more than once.
+// Close flushes pending coalesced writes (best-effort, bounded by
+// closeFlushWindow) and shuts the transport; safe to call more than
+// once.
 func (c *Conn) Close() error {
 	var err error
 	c.once.Do(func() {
 		c.err.CompareAndSwap(nil, errBox{ErrConnClosed})
+		// Bound the final flush — and any in-flight write the flusher
+		// may be blocked behind — so a dead peer cannot stall Close.
+		_ = c.raw.SetWriteDeadline(time.Now().Add(closeFlushWindow))
+		if c.autoFlush {
+			close(c.flushQuit)
+			c.flusherWG.Wait()
+		}
+		// TryLock: if a writer is mid-send it will observe the closed
+		// conn itself; never block teardown on the write path.
+		if c.wmu.TryLock() {
+			if c.pending > 0 {
+				c.pending = 0
+				_ = c.bw.Flush()
+			}
+			c.wmu.Unlock()
+		}
 		err = c.raw.Close()
 	})
 	return err

@@ -112,18 +112,31 @@ func DecodeHeader(b []byte) (Header, error) {
 	return h, nil
 }
 
-// Marshal frames msg with the header and returns the complete wire form.
+// Marshal frames msg with the header and returns the complete wire form
+// in a freshly allocated slice.
 func Marshal(msg Message, xid uint32) ([]byte, error) {
-	b := make([]byte, HeaderLen, HeaderLen+64)
-	b = msg.AppendBody(b)
-	if len(b) > MaxMessageLen {
+	return MarshalAppend(make([]byte, 0, HeaderLen+64), msg, xid)
+}
+
+// MarshalAppend frames msg with the header and appends the complete
+// wire form to dst, returning the extended slice. It is the
+// encode-into path: reusing dst across calls makes encoding
+// allocation-free once the buffer has grown to the message size, and
+// several messages may be framed back to back into one buffer.
+func MarshalAppend(dst []byte, msg Message, xid uint32) ([]byte, error) {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0, 0, 0, 0, 0) // header, patched below
+	dst = msg.AppendBody(dst)
+	n := len(dst) - start
+	if n > MaxMessageLen {
 		return nil, ErrMessageTooBig
 	}
-	b[0] = Version
-	b[1] = uint8(msg.Type())
-	binary.BigEndian.PutUint16(b[2:4], uint16(len(b)))
-	binary.BigEndian.PutUint32(b[4:8], xid)
-	return b, nil
+	hdr := dst[start:]
+	hdr[0] = Version
+	hdr[1] = uint8(msg.Type())
+	binary.BigEndian.PutUint16(hdr[2:4], uint16(n))
+	binary.BigEndian.PutUint32(hdr[4:8], xid)
+	return dst, nil
 }
 
 // Unmarshal parses one complete framed message (header plus body).
