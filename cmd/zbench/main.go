@@ -1,5 +1,5 @@
 // Command zbench regenerates the synthetic evaluation suite declared
-// in DESIGN.md: every experiment (E1-E8 plus ablations) prints the
+// in DESIGN.md: every experiment (E1-E9 plus ablations) prints the
 // table or series its SIGCOMM'13-style counterpart would report.
 //
 // Usage:
@@ -20,10 +20,10 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id: e1,e1a,e2,e3,e3a,e4,e5,e6,e7,e8 or all")
+	exp := flag.String("exp", "all", "experiment id: e1,e1a,e2,e3,e3a,e4,e5,e6,e7,e8,e9 or all")
 	quick := flag.Bool("quick", false, "reduced parameters for a fast pass")
 	seed := flag.Int64("seed", 1, "workload seed")
-	jsonOut := flag.String("json", "", "also write machine-readable results to this file (e7,e8)")
+	jsonOut := flag.String("json", "", "also write machine-readable results to this file (e7,e8,e9)")
 	flag.Parse()
 
 	run := func(id string) bool {
@@ -151,6 +151,29 @@ func main() {
 			cfg.Duration = 500 * time.Millisecond
 		}
 		t, res, err := experiments.E8ControlPlaneScaling(cfg)
+		if err != nil {
+			fail(err)
+		}
+		t.Fprint(os.Stdout)
+		if *jsonOut != "" {
+			data, err := json.MarshalIndent(res, "", "  ")
+			if err != nil {
+				fail(err)
+			}
+			if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+				fail(err)
+			}
+		}
+	}
+	if run("e9") {
+		ran++
+		cfg := experiments.E9Config{}
+		if *quick {
+			cfg.MissBudgets = []int{2}
+			cfg.Backoffs = []time.Duration{10 * time.Millisecond}
+			cfg.Rules = 8
+		}
+		t, res, err := experiments.E9FaultRecovery(cfg)
 		if err != nil {
 			fail(err)
 		}

@@ -163,5 +163,33 @@ func (e *ECMPRouting) LinkDown(c *controller.Controller, ev controller.LinkDown)
 // LinkUp implements controller.LinkHandler.
 func (e *ECMPRouting) LinkUp(c *controller.Controller, ev controller.LinkUp) {}
 
+// SwitchUp implements controller.SwitchHandler. A reconnected switch
+// may have lost its group table (crash-restart) or be about to have
+// stale flows reconciled away, so the cached group ids for it are
+// invalid either way: drop them and let the next packet re-push groups
+// with fresh ids under the new session.
+func (e *ECMPRouting) SwitchUp(c *controller.Controller, ev controller.SwitchUp) {
+	if !ev.Reconnect {
+		return
+	}
+	e.forget(ev.DPID)
+}
+
+// SwitchDown implements controller.SwitchHandler.
+func (e *ECMPRouting) SwitchDown(c *controller.Controller, ev controller.SwitchDown) {
+	e.forget(ev.DPID)
+}
+
+func (e *ECMPRouting) forget(dpid uint64) {
+	e.mu.Lock()
+	for key := range e.groupFor {
+		if key.dpid == dpid {
+			delete(e.groupFor, key)
+		}
+	}
+	e.mu.Unlock()
+}
+
 var _ controller.PacketInHandler = (*ECMPRouting)(nil)
 var _ controller.LinkHandler = (*ECMPRouting)(nil)
+var _ controller.SwitchHandler = (*ECMPRouting)(nil)

@@ -179,4 +179,22 @@ func (lb *LoadBalancer) portToward(c *controller.Controller, dpid uint64, bh con
 	return g.PortToward(topoNode(dpid), path.Nodes[1])
 }
 
+// SwitchUp implements controller.SwitchHandler. The balancer is fully
+// reactive — NAT rules reinstall on the next packet of each flow — so
+// a reconnect needs no proactive reinstall; reconciliation flushing
+// the stale rules and the resulting packet-ins do the work.
+func (lb *LoadBalancer) SwitchUp(c *controller.Controller, ev controller.SwitchUp) {}
+
+// SwitchDown drops recorded decisions for flows whose edge rules lived
+// on the dead switch. Decisions are not keyed by switch, so the pool
+// simply re-picks per flow when traffic resumes; clearing keeps the
+// map from pinning flows to backends that may have been drained while
+// the switch was away.
+func (lb *LoadBalancer) SwitchDown(c *controller.Controller, ev controller.SwitchDown) {
+	lb.mu.Lock()
+	clear(lb.decisions)
+	lb.mu.Unlock()
+}
+
 var _ controller.PacketInHandler = (*LoadBalancer)(nil)
+var _ controller.SwitchHandler = (*LoadBalancer)(nil)

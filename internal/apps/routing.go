@@ -147,5 +147,41 @@ func (r *Routing) LinkDown(c *controller.Controller, ev controller.LinkDown) {
 	}
 }
 
+// SwitchUp implements controller.SwitchHandler. On a reconnect the
+// switch's flow table is about to be reconciled against the new
+// session epoch, so any pair recorded as held there must be forgotten:
+// the next packet of those flows re-routes and reinstalls under the
+// fresh session.
+func (r *Routing) SwitchUp(c *controller.Controller, ev controller.SwitchUp) {
+	if !ev.Reconnect {
+		return
+	}
+	r.forget(ev.DPID)
+}
+
+// SwitchDown implements controller.SwitchHandler: flows on a dead
+// switch are gone with it, so drop the pairs it held.
+func (r *Routing) SwitchDown(c *controller.Controller, ev controller.SwitchDown) {
+	r.forget(ev.DPID)
+}
+
+// forget drops every tracked pair whose holders include dpid. The
+// whole pair is dropped (not just the one hop) because a path missing
+// one switch is broken end to end; remaining hops idle-time out or are
+// flushed by the next install.
+func (r *Routing) forget(dpid uint64) {
+	r.mu.Lock()
+	for key, holders := range r.installed {
+		for _, h := range holders {
+			if h == dpid {
+				delete(r.installed, key)
+				break
+			}
+		}
+	}
+	r.mu.Unlock()
+}
+
 var _ controller.PacketInHandler = (*Routing)(nil)
 var _ controller.LinkHandler = (*Routing)(nil)
+var _ controller.SwitchHandler = (*Routing)(nil)

@@ -39,6 +39,20 @@ type Config struct {
 	Discovery bool
 	// DiscoveryInterval is the probing period (default 500ms).
 	DiscoveryInterval time.Duration
+	// ProbeInterval enables per-switch liveness probing: every interval
+	// the controller round-trips an Echo with a sequence-stamped payload
+	// on each connection. 0 disables probing (the default — short-lived
+	// tools and benches need no keepalives).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds each individual probe; 0 means ProbeInterval.
+	ProbeTimeout time.Duration
+	// ProbeMisses is the miss budget: this many consecutive failed
+	// probes evict the peer exactly like a read error (SwitchDown, NIB
+	// cleanup, pending requests failed fast). Default 3.
+	ProbeMisses int
+	// ReconcileTimeout bounds the flow-stats query of the post-reconnect
+	// cookie reconciliation pass; default 5s.
+	ReconcileTimeout time.Duration
 	// Logf receives diagnostics; nil silences them.
 	Logf func(format string, args ...any)
 }
@@ -69,6 +83,11 @@ type Controller struct {
 	// atomic snapshots below and never take it.
 	mu     sync.Mutex
 	closed bool
+	// nextEpoch numbers sessions; lastEpoch remembers every DPID that
+	// ever registered so a returning datapath is recognized (both
+	// guarded by mu).
+	nextEpoch uint64
+	lastEpoch map[uint64]uint64
 
 	switches atomic.Pointer[switchMap]
 	apps     atomic.Pointer[[]App]
@@ -78,7 +97,12 @@ type Controller struct {
 	loopWG sync.WaitGroup
 	connWG sync.WaitGroup
 
-	stats DispatchStats
+	stats    DispatchStats
+	liveness LivenessStats
+	// detectNanos records, for the most recent liveness eviction, the
+	// time from the send of the first probe of the fatal miss streak to
+	// the eviction decision (E9's detection-latency measurement).
+	detectNanos atomic.Int64
 }
 
 // New starts a controller listening on cfg.Addr.
@@ -101,6 +125,15 @@ func New(cfg Config) (*Controller, error) {
 	if cfg.DiscoveryInterval <= 0 {
 		cfg.DiscoveryInterval = 500 * time.Millisecond
 	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = cfg.ProbeInterval
+	}
+	if cfg.ProbeMisses <= 0 {
+		cfg.ProbeMisses = 3
+	}
+	if cfg.ReconcileTimeout <= 0 {
+		cfg.ReconcileTimeout = 5 * time.Second
+	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
@@ -109,11 +142,12 @@ func New(cfg Config) (*Controller, error) {
 		return nil, fmt.Errorf("controller listen: %w", err)
 	}
 	c := &Controller{
-		cfg:    cfg,
-		ln:     ln,
-		nib:    NewNIB(),
-		shards: make([]chan Event, cfg.DispatchWorkers),
-		quit:   make(chan struct{}),
+		cfg:       cfg,
+		ln:        ln,
+		nib:       NewNIB(),
+		lastEpoch: make(map[uint64]uint64),
+		shards:    make([]chan Event, cfg.DispatchWorkers),
+		quit:      make(chan struct{}),
 	}
 	empty := make(switchMap)
 	c.switches.Store(&empty)
@@ -140,6 +174,18 @@ func (c *Controller) NIB() *NIB { return c.nib }
 
 // Stats exposes the dispatch health counters.
 func (c *Controller) Stats() *DispatchStats { return &c.stats }
+
+// Liveness exposes the prober/reconciler health counters.
+func (c *Controller) Liveness() *LivenessStats { return &c.liveness }
+
+// LastDetection returns, for the most recent liveness eviction, the
+// time from the first probe of the fatal miss streak being sent to the
+// peer being declared dead — the detection latency the miss budget
+// bounds at ProbeInterval × ProbeMisses (for ProbeTimeout ≤
+// ProbeInterval). Zero if no eviction has happened.
+func (c *Controller) LastDetection() time.Duration {
+	return time.Duration(c.detectNanos.Load())
+}
 
 // QueuedEvents returns the instantaneous number of events waiting
 // across all dispatch shards.
@@ -181,42 +227,67 @@ func (c *Controller) Switches() []*SwitchConn {
 }
 
 // registerSwitch publishes sc in the registry (newest connection wins,
-// like OVS reconnects). It reports false when the controller is closed.
-func (c *Controller) registerSwitch(sc *SwitchConn) bool {
+// like OVS reconnects), assigns the session epoch, installs the NIB
+// entry and posts SwitchUp — all under c.mu, so registry state, NIB
+// state and the per-DPID SwitchUp/SwitchDown event order agree even
+// when an old session's teardown races a new session's registration.
+// It reports whether the DPID is returning (seen before) and false ok
+// when the controller is closed.
+func (c *Controller) registerSwitch(sc *SwitchConn) (reconnect, ok bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.closed {
-		return false
+		return false, false
 	}
+	// Epochs live in 16 cookie bits and are never 0 (0 marks flows not
+	// installed through a SwitchConn).
+	sc.epoch = c.nextEpoch%((1<<16)-1) + 1
+	c.nextEpoch++
+	_, reconnect = c.lastEpoch[sc.dpid]
+	c.lastEpoch[sc.dpid] = sc.epoch
 	old := *c.switches.Load()
 	next := make(switchMap, len(old)+1)
 	for k, v := range old {
 		next[k] = v
 	}
 	if prev, dup := next[sc.dpid]; dup {
+		// Displaced session: close it now. Its serve goroutine's
+		// teardown will find itself no longer registered and skip the
+		// NIB removal and SwitchDown (see unregisterSwitch).
 		prev.close()
 	}
 	next[sc.dpid] = sc
 	c.switches.Store(&next)
-	return true
+	c.nib.addSwitch(sc.features)
+	c.post(SwitchUp{DPID: sc.dpid, Features: sc.features, Reconnect: reconnect})
+	return reconnect, true
 }
 
-// unregisterSwitch removes sc if it is still the registered connection
-// for its dpid, reporting whether the controller was already closed.
-func (c *Controller) unregisterSwitch(sc *SwitchConn) (stillClosed bool) {
+// unregisterSwitch tears down sc's registration — but only if sc is
+// still the registered connection for its dpid: after a dup-DPID
+// reconnect the displaced session must not wipe the new session's NIB
+// entry or tell apps a live switch went down. NIB removal and the
+// SwitchDown post happen under the same c.mu hold as the registry
+// update, mirroring registerSwitch, so per-DPID lifecycle events reach
+// the dispatch shard in registry order.
+func (c *Controller) unregisterSwitch(sc *SwitchConn) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	old := *c.switches.Load()
-	if old[sc.dpid] == sc {
-		next := make(switchMap, len(old))
-		for k, v := range old {
-			if v != sc {
-				next[k] = v
-			}
-		}
-		c.switches.Store(&next)
+	if old[sc.dpid] != sc {
+		return // a newer session owns this DPID now
 	}
-	return c.closed
+	next := make(switchMap, len(old))
+	for k, v := range old {
+		if v != sc {
+			next[k] = v
+		}
+	}
+	c.switches.Store(&next)
+	c.nib.removeSwitch(sc.dpid)
+	if !c.closed {
+		c.post(SwitchDown{DPID: sc.dpid})
+	}
 }
 
 // Close stops the controller and disconnects every datapath.
@@ -269,13 +340,22 @@ func (c *Controller) serve(raw net.Conn) {
 	if c.cfg.FlushDelay >= 0 {
 		conn.SetAutoFlush(c.cfg.FlushDelay)
 	}
-	if !c.registerSwitch(sc) {
+	reconnect, ok := c.registerSwitch(sc)
+	if !ok {
 		sc.close()
 		return
 	}
-
-	c.nib.addSwitch(sc.features)
-	c.post(SwitchUp{DPID: sc.dpid, Features: sc.features})
+	if reconnect {
+		// A returning DPID may carry flows from its previous session;
+		// once the apps have reinstalled under the fresh epoch, flush
+		// the leftovers.
+		c.connWG.Add(1)
+		go c.reconcileFlows(sc)
+	}
+	if c.cfg.ProbeInterval > 0 {
+		c.connWG.Add(1)
+		go c.probeLoop(sc)
+	}
 
 	for {
 		msg, h, err := sc.conn.Receive()
@@ -302,11 +382,7 @@ func (c *Controller) serve(raw net.Conn) {
 	}
 
 	sc.close()
-	stillClosed := c.unregisterSwitch(sc)
-	c.nib.removeSwitch(sc.dpid)
-	if !stillClosed {
-		c.post(SwitchDown{DPID: sc.dpid})
-	}
+	c.unregisterSwitch(sc)
 }
 
 // eventKey returns the sharding key: the DPID whose per-switch FIFO the
@@ -330,9 +406,20 @@ func eventKey(ev Event) uint64 {
 		return e.SrcDPID
 	case LinkDown:
 		return e.SrcDPID
+	case flowSync:
+		return e.dpid
 	default:
 		return 0
 	}
+}
+
+// flowSync is an internal marker event: riding a DPID's FIFO shard, its
+// dispatch proves every event posted ahead of it for that switch —
+// notably a SwitchUp — has been handled. The reconciler uses it to
+// sequence the stale-flow flush after the apps' reinstalls.
+type flowSync struct {
+	dpid uint64
+	done chan struct{}
 }
 
 // shardFor spreads keys across n shards; the Fibonacci multiplier keeps
@@ -384,6 +471,10 @@ func (c *Controller) dispatch(ev Event) {
 	}()
 	apps := *c.apps.Load()
 
+	if fs, ok := ev.(flowSync); ok {
+		close(fs.done)
+		return
+	}
 	// Built-in pre-processing: discovery consumes LLDP; host learning
 	// runs before apps so they can query the NIB.
 	if pi, ok := ev.(PacketInEvent); ok {

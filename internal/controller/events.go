@@ -16,10 +16,16 @@ import "repro/internal/zof"
 // its own state).
 type Event any
 
-// SwitchUp fires when a datapath completes its handshake.
+// SwitchUp fires when a datapath completes its handshake. Reconnect is
+// set when the DPID has been connected before (the session is a
+// re-attach after a crash or control-channel flap): handlers holding
+// per-switch state should reinstall it — the controller flushes flows
+// left over from the previous session once they have (cookie-epoch
+// reconciliation, see SwitchConn.Epoch).
 type SwitchUp struct {
-	DPID     uint64
-	Features zof.FeaturesReply
+	DPID      uint64
+	Features  zof.FeaturesReply
+	Reconnect bool
 }
 
 // SwitchDown fires when a datapath's session ends.

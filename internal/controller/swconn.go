@@ -1,6 +1,7 @@
 package controller
 
 import (
+	"bytes"
 	"fmt"
 	"net"
 	"sync"
@@ -9,12 +10,30 @@ import (
 	"repro/internal/zof"
 )
 
+// cookieEpochShift places the session epoch in the upper 16 bits of
+// every controller-installed flow cookie; the low 48 bits remain the
+// app's. Reconciliation after a reconnect keys on these bits: entries
+// stamped with an earlier epoch are stale leftovers of a previous
+// session and are flushed once the apps have reinstalled.
+const cookieEpochShift = 48
+
+// sessionCookie embeds epoch into the upper bits of an app cookie.
+func sessionCookie(epoch, cookie uint64) uint64 {
+	return epoch<<cookieEpochShift | cookie&(1<<cookieEpochShift-1)
+}
+
+// CookieEpoch extracts the session epoch a flow cookie was stamped
+// with (0 for flows not installed through a SwitchConn).
+func CookieEpoch(cookie uint64) uint64 { return cookie >> cookieEpochShift }
+
 // SwitchConn is the controller's handle on one connected datapath. All
 // methods are safe for concurrent use.
 type SwitchConn struct {
 	dpid     uint64
+	epoch    uint64 // session epoch (16 bits, never 0); set at registration
 	conn     *zof.Conn
 	features zof.FeaturesReply
+	done     chan struct{} // closed when the connection is torn down
 
 	mu      sync.Mutex
 	pending map[uint32]chan zof.Message
@@ -23,6 +42,15 @@ type SwitchConn struct {
 
 // DPID returns the datapath id.
 func (s *SwitchConn) DPID() uint64 { return s.dpid }
+
+// Epoch returns the session epoch stamped into this connection's flow
+// cookies. Each registration of a DPID gets a fresh epoch, so flows
+// surviving from an earlier session are distinguishable on the wire.
+func (s *SwitchConn) Epoch() uint64 { return s.epoch }
+
+// Done is closed when the connection is torn down (read error, liveness
+// eviction, displacement by a newer session, or controller close).
+func (s *SwitchConn) Done() <-chan struct{} { return s.done }
 
 // Features returns the handshake-time feature reply.
 func (s *SwitchConn) Features() zof.FeaturesReply { return s.features }
@@ -52,9 +80,11 @@ func handshake(conn *zof.Conn, timeout time.Duration) (*SwitchConn, error) {
 		if !ok {
 			// Tolerate early asynchronous noise (echo, packet-in) but
 			// nothing else before features.
-			switch msg.(type) {
+			switch m := msg.(type) {
 			case *zof.EchoRequest:
-				_ = conn.SendXID(&zof.EchoReply{}, h.XID)
+				// Echo the payload like the steady-state path does: the
+				// peer may be verifying the round trip.
+				_ = conn.SendXID(&zof.EchoReply{Data: m.Data}, h.XID)
 				continue
 			case *zof.PacketIn, *zof.PortStatus:
 				continue
@@ -68,6 +98,7 @@ func handshake(conn *zof.Conn, timeout time.Duration) (*SwitchConn, error) {
 			dpid:     fr.DPID,
 			conn:     conn,
 			features: *fr,
+			done:     make(chan struct{}),
 			pending:  make(map[uint32]chan zof.Message),
 		}, nil
 	}
@@ -83,13 +114,31 @@ func (s *SwitchConn) Send(msg zof.Message) error {
 // mods — framed back to back and flushed once, so the burst costs one
 // syscall instead of one per message. Apps that emit several messages
 // per event (routing installs, LB rule pairs, discovery probes) should
-// prefer it over message-at-a-time sends.
+// prefer it over message-at-a-time sends. FlowAdds in the burst are
+// stamped with the session epoch (see InstallFlow).
 func (s *SwitchConn) SendBatch(msgs ...zof.Message) error {
+	for _, m := range msgs {
+		if fm, ok := m.(*zof.FlowMod); ok {
+			s.stamp(fm)
+		}
+	}
 	return s.conn.SendBatch(msgs...)
 }
 
-// InstallFlow sends a FlowMod.
+// stamp embeds the session epoch into a FlowAdd's cookie. App cookies
+// live in the low 48 bits; the upper 16 identify the installing
+// session so reconciliation can flush leftovers of a dead one.
+func (s *SwitchConn) stamp(fm *zof.FlowMod) {
+	if fm.Command == zof.FlowAdd {
+		fm.Cookie = sessionCookie(s.epoch, fm.Cookie)
+	}
+}
+
+// InstallFlow sends a FlowMod. FlowAdds are stamped with the session
+// epoch in the cookie's upper 16 bits, so every flow this connection
+// installs is attributable to this session.
 func (s *SwitchConn) InstallFlow(fm *zof.FlowMod) error {
+	s.stamp(fm)
 	return s.Send(fm)
 }
 
@@ -170,12 +219,25 @@ func (s *SwitchConn) Stats(req *zof.StatsRequest, timeout time.Duration) (*zof.S
 
 // Echo round-trips a keepalive.
 func (s *SwitchConn) Echo(timeout time.Duration) error {
-	rep, err := s.request(&zof.EchoRequest{Data: []byte("zen")}, timeout)
+	return s.EchoData([]byte("zen"), timeout)
+}
+
+// EchoData round-trips a keepalive carrying data and verifies the peer
+// echoed the payload back intact — a reply of the right type with the
+// wrong bytes indicates a desynchronized or misbehaving peer and
+// returns zof.ErrEchoPayload. The liveness prober uses per-probe
+// payloads so a stale reply cannot satisfy a fresh probe.
+func (s *SwitchConn) EchoData(data []byte, timeout time.Duration) error {
+	rep, err := s.request(&zof.EchoRequest{Data: data}, timeout)
 	if err != nil {
 		return err
 	}
-	if _, ok := rep.(*zof.EchoReply); !ok {
+	er, ok := rep.(*zof.EchoReply)
+	if !ok {
 		return zof.ErrTypeMismatch
+	}
+	if !bytes.Equal(er.Data, data) {
+		return zof.ErrEchoPayload
 	}
 	return nil
 }
@@ -218,6 +280,7 @@ func (s *SwitchConn) close() {
 	pend := s.pending
 	s.pending = make(map[uint32]chan zof.Message)
 	s.mu.Unlock()
+	close(s.done)
 	for _, ch := range pend {
 		close(ch)
 	}

@@ -1,0 +1,281 @@
+package dataplane
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SessionState is the session manager's externally visible phase.
+type SessionState int32
+
+// Session manager states.
+const (
+	SessionConnecting SessionState = iota // dialing the controller
+	SessionConnected                      // a Datapath session is live
+	SessionBackoff                        // waiting out a backoff delay
+	SessionStopped                        // Close called or attempts exhausted
+)
+
+func (s SessionState) String() string {
+	switch s {
+	case SessionConnecting:
+		return "connecting"
+	case SessionConnected:
+		return "connected"
+	case SessionBackoff:
+		return "backoff"
+	case SessionStopped:
+		return "stopped"
+	}
+	return fmt.Sprintf("SessionState(%d)", int32(s))
+}
+
+// SessionConfig tunes a Session.
+type SessionConfig struct {
+	// Addr is the controller's southbound address. Required.
+	Addr string
+	// DialTimeout bounds each connection attempt (default 5s).
+	DialTimeout time.Duration
+	// MinBackoff is the delay before the first redial after a failure
+	// or session loss (default 50ms). Subsequent consecutive failures
+	// double it.
+	MinBackoff time.Duration
+	// MaxBackoff caps the exponential growth (default 5s).
+	MaxBackoff time.Duration
+	// Jitter spreads each delay by ±Jitter×delay so a restarting
+	// controller is not hit by a synchronized reconnect storm from its
+	// whole fleet (default 0.2; 0 keeps pure exponential, negative
+	// disables jitter explicitly).
+	Jitter float64
+	// MaxAttempts gives up after this many consecutive failed dials
+	// (0 = retry forever). A successful session resets the count.
+	MaxAttempts int
+	// Seed makes the jitter deterministic for tests; 0 derives one from
+	// the address.
+	Seed int64
+	// OnState, when set, observes every state change; err is non-nil
+	// for transitions caused by a failure. Called from the manager
+	// goroutine — keep it fast and do not call Session methods that
+	// block on the manager (Close) from inside it.
+	OnState func(state SessionState, attempt int, err error)
+	// Logf receives diagnostics; nil silences them.
+	Logf func(format string, args ...any)
+}
+
+// Session keeps one switch attached to its controller across failures:
+// it dials, hands the transport to Attach, waits for the session to
+// die (controller restart, channel reset, liveness eviction on the far
+// end), and redials under exponential backoff with jitter. Re-attach
+// resync is driven by the controller side — the fresh handshake
+// announces the returning DPID, apps reinstall on the Reconnect
+// SwitchUp, and cookie reconciliation flushes stale flows — so the
+// switch side only has to keep the channel coming back.
+type Session struct {
+	sw  *Switch
+	cfg SessionConfig
+
+	mu     sync.Mutex
+	dp     *Datapath
+	closed bool
+
+	state    atomic.Int32
+	sessions atomic.Uint64 // established sessions (1 = initial connect)
+	attempts atomic.Uint64 // dials attempted
+
+	quit chan struct{}
+	done chan struct{}
+}
+
+// StartSession launches the manager for sw; it runs until Close (or
+// MaxAttempts consecutive dial failures). The first connection attempt
+// starts immediately; use WaitConnected to block for it.
+func StartSession(sw *Switch, cfg SessionConfig) *Session {
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 5 * time.Second
+	}
+	if cfg.MinBackoff <= 0 {
+		cfg.MinBackoff = 50 * time.Millisecond
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 5 * time.Second
+	}
+	if cfg.MaxBackoff < cfg.MinBackoff {
+		cfg.MaxBackoff = cfg.MinBackoff
+	}
+	if cfg.Jitter == 0 {
+		cfg.Jitter = 0.2
+	} else if cfg.Jitter < 0 {
+		cfg.Jitter = 0
+	}
+	if cfg.Seed == 0 {
+		for _, b := range []byte(cfg.Addr) {
+			cfg.Seed = cfg.Seed*131 + int64(b)
+		}
+		cfg.Seed += time.Now().UnixNano()
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	s := &Session{
+		sw:   sw,
+		cfg:  cfg,
+		quit: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	go s.run()
+	return s
+}
+
+// State returns the manager's current phase.
+func (s *Session) State() SessionState { return SessionState(s.state.Load()) }
+
+// Connected reports whether a session is currently live.
+func (s *Session) Connected() bool { return s.State() == SessionConnected }
+
+// Sessions returns how many sessions have been established (1 after the
+// initial connect; each successful reconnect increments it).
+func (s *Session) Sessions() uint64 { return s.sessions.Load() }
+
+// Attempts returns how many dials have been made.
+func (s *Session) Attempts() uint64 { return s.attempts.Load() }
+
+// Datapath returns the live session, or nil while disconnected.
+func (s *Session) Datapath() *Datapath {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dp
+}
+
+// WaitConnected blocks until a session is live or the timeout elapses.
+func (s *Session) WaitConnected(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for !s.Connected() {
+		if s.State() == SessionStopped {
+			return fmt.Errorf("session manager stopped")
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("not connected to %s within %v", s.cfg.Addr, timeout)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return nil
+}
+
+// Done is closed when the manager exits (Close, or MaxAttempts
+// exhausted).
+func (s *Session) Done() <-chan struct{} { return s.done }
+
+// Close stops the manager and tears down any live session.
+func (s *Session) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	dp := s.dp
+	s.mu.Unlock()
+	close(s.quit)
+	if dp != nil {
+		dp.Close()
+	}
+	<-s.done
+	return nil
+}
+
+func (s *Session) setState(st SessionState, attempt int, err error) {
+	s.state.Store(int32(st))
+	if s.cfg.OnState != nil {
+		s.cfg.OnState(st, attempt, err)
+	}
+}
+
+// backoffDelay is the wait before consecutive failed attempt n (n ≥ 1):
+// MinBackoff doubled per failure, capped at MaxBackoff, spread ±Jitter.
+func (s *Session) backoffDelay(n int, rng *rand.Rand) time.Duration {
+	d := s.cfg.MinBackoff
+	for i := 1; i < n && d < s.cfg.MaxBackoff; i++ {
+		d *= 2
+	}
+	if d > s.cfg.MaxBackoff {
+		d = s.cfg.MaxBackoff
+	}
+	if s.cfg.Jitter > 0 {
+		d += time.Duration((2*rng.Float64() - 1) * s.cfg.Jitter * float64(d))
+		if d < 0 {
+			d = 0
+		}
+	}
+	return d
+}
+
+func (s *Session) run() {
+	defer close(s.done)
+	defer s.state.Store(int32(SessionStopped))
+	rng := rand.New(rand.NewSource(s.cfg.Seed))
+	failures := 0 // consecutive failed dials since the last live session
+	for {
+		select {
+		case <-s.quit:
+			return
+		default:
+		}
+		s.setState(SessionConnecting, failures+1, nil)
+		s.attempts.Add(1)
+		dp, err := Connect(s.sw, s.cfg.Addr, s.cfg.DialTimeout)
+		if err != nil {
+			failures++
+			if s.cfg.MaxAttempts > 0 && failures >= s.cfg.MaxAttempts {
+				s.cfg.Logf("session %s: giving up after %d attempts: %v", s.cfg.Addr, failures, err)
+				s.setState(SessionStopped, failures, err)
+				return
+			}
+			d := s.backoffDelay(failures, rng)
+			s.cfg.Logf("session %s: dial failed (attempt %d): %v; retrying in %v",
+				s.cfg.Addr, failures, err, d)
+			s.setState(SessionBackoff, failures, err)
+			select {
+			case <-s.quit:
+				return
+			case <-time.After(d):
+			}
+			continue
+		}
+
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			dp.Close()
+			return
+		}
+		s.dp = dp
+		s.mu.Unlock()
+		failures = 0
+		s.sessions.Add(1)
+		s.setState(SessionConnected, 0, nil)
+
+		select {
+		case <-s.quit:
+			dp.Close()
+			return
+		case <-dp.Done():
+		}
+		s.mu.Lock()
+		s.dp = nil
+		s.mu.Unlock()
+		// The session died out from under us: one MinBackoff beat before
+		// redialing so a controller that accepts-then-drops cannot spin
+		// the manager hot, then exponential growth on further failures.
+		d := s.backoffDelay(1, rng)
+		s.cfg.Logf("session %s: lost; redialing in %v", s.cfg.Addr, d)
+		s.setState(SessionBackoff, 1, nil)
+		select {
+		case <-s.quit:
+			return
+		case <-time.After(d):
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package dataplane
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestBackoffDelaySchedule pins the reconnect backoff contract:
+// exponential growth from MinBackoff, capped at MaxBackoff, spread by
+// at most ±Jitter around the nominal delay.
+func TestBackoffDelaySchedule(t *testing.T) {
+	s := &Session{cfg: SessionConfig{
+		MinBackoff: 10 * time.Millisecond,
+		MaxBackoff: 80 * time.Millisecond,
+		Jitter:     0.2,
+	}}
+	rng := rand.New(rand.NewSource(1))
+	nominal := []time.Duration{
+		10 * time.Millisecond, // n=1
+		20 * time.Millisecond,
+		40 * time.Millisecond,
+		80 * time.Millisecond,
+		80 * time.Millisecond, // capped
+		80 * time.Millisecond,
+	}
+	for i, want := range nominal {
+		n := i + 1
+		for trial := 0; trial < 50; trial++ {
+			got := s.backoffDelay(n, rng)
+			lo := time.Duration(float64(want) * 0.8)
+			hi := time.Duration(float64(want) * 1.2)
+			if got < lo || got > hi {
+				t.Fatalf("backoffDelay(%d) = %v outside [%v, %v]", n, got, lo, hi)
+			}
+		}
+	}
+}
+
+// TestBackoffDelayNoJitter checks the pure exponential schedule.
+func TestBackoffDelayNoJitter(t *testing.T) {
+	s := &Session{cfg: SessionConfig{
+		MinBackoff: 5 * time.Millisecond,
+		MaxBackoff: 40 * time.Millisecond,
+	}}
+	rng := rand.New(rand.NewSource(1))
+	for n, want := range map[int]time.Duration{
+		1: 5 * time.Millisecond,
+		2: 10 * time.Millisecond,
+		3: 20 * time.Millisecond,
+		4: 40 * time.Millisecond,
+		9: 40 * time.Millisecond,
+	} {
+		if got := s.backoffDelay(n, rng); got != want {
+			t.Errorf("backoffDelay(%d) = %v, want %v", n, got, want)
+		}
+	}
+}

@@ -407,9 +407,17 @@ func (s *Switch) flowModLocked(m *zof.FlowMod) error {
 	case zof.FlowModify:
 		t.Modify(m.Match, append([]zof.Action(nil), m.Actions...), m.Cookie)
 	case zof.FlowDelete:
-		s.emitRemoved(m.TableID, t.Delete(m.Match), now)
+		if m.Flags&zof.FlagCookieFilter != 0 {
+			s.emitRemoved(m.TableID, t.DeleteByCookie(m.Match, m.Cookie), now)
+		} else {
+			s.emitRemoved(m.TableID, t.Delete(m.Match), now)
+		}
 	case zof.FlowDeleteStrict:
-		s.emitRemoved(m.TableID, t.DeleteStrict(m.Match, m.Priority), now)
+		if m.Flags&zof.FlagCookieFilter != 0 {
+			s.emitRemoved(m.TableID, t.DeleteStrictByCookie(m.Match, m.Priority, m.Cookie), now)
+		} else {
+			s.emitRemoved(m.TableID, t.DeleteStrict(m.Match, m.Priority), now)
+		}
 	default:
 		return fmt.Errorf("bad flow_mod command %d", m.Command)
 	}

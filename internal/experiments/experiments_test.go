@@ -142,3 +142,30 @@ func TestE6ZeroAllocDecode(t *testing.T) {
 		}
 	}
 }
+
+func TestE9QuickLifecycle(t *testing.T) {
+	tbl, res, err := E9FaultRecovery(E9Config{
+		MissBudgets: []int{2},
+		Backoffs:    []time.Duration{10 * time.Millisecond},
+		Rules:       8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 1 || len(res.Points) != 1 {
+		t.Fatalf("rows = %d points = %d", len(tbl.Rows), len(res.Points))
+	}
+	pt := res.Points[0]
+	if !pt.Converged {
+		t.Fatal("lifecycle did not converge")
+	}
+	if pt.DetectMS <= 0 || pt.DetectMS > pt.DetectBoundMS {
+		t.Errorf("detection %vms outside (0, %vms]", pt.DetectMS, pt.DetectBoundMS)
+	}
+	if pt.StaleFlushed < 1 {
+		t.Errorf("stale flushed = %d, want >= 1", pt.StaleFlushed)
+	}
+	if pt.ReconnectMS <= 0 || pt.FlapConvergeMS <= 0 || pt.CrashConvergeMS <= 0 {
+		t.Errorf("timings missing: %+v", pt)
+	}
+}

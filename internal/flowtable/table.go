@@ -270,6 +270,24 @@ func (t *Table) DeleteStrict(m zof.Match, priority uint16) []*Entry {
 	})
 }
 
+// DeleteByCookie removes every entry subsumed by m whose cookie equals
+// cookie exactly (zof.FlagCookieFilter semantics).
+func (t *Table) DeleteByCookie(m zof.Match, cookie uint64) []*Entry {
+	return t.deleteIf(func(e *Entry) bool {
+		return e.Cookie == cookie && m.Subsumes(&e.Match)
+	})
+}
+
+// DeleteStrictByCookie removes only the exact match+priority entry, and
+// only if its cookie equals cookie — the race-free primitive session
+// reconciliation uses: a delete aimed at a stale entry cannot remove a
+// fresh one installed under the same match with a different cookie.
+func (t *Table) DeleteStrictByCookie(m zof.Match, priority uint16, cookie uint64) []*Entry {
+	return t.deleteIf(func(e *Entry) bool {
+		return e.Cookie == cookie && e.Priority == priority && e.Match == m
+	})
+}
+
 func (t *Table) deleteIf(pred func(*Entry) bool) []*Entry {
 	var removed []*Entry
 	kept := t.entries[:0]

@@ -1,0 +1,167 @@
+package netem
+
+import (
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ControlProxy sits between a datapath and its controller as a
+// userspace TCP relay and injects control-channel faults the emulated
+// data plane (Pipe/Network) cannot express: blackholing the zof
+// session without closing it — the classic half-open TCP failure a
+// liveness prober exists to detect — adding one-way delay, and
+// severing every connection at once to emulate a control-network
+// partition healing or a middlebox dropping state.
+//
+// Point the switch's session at Addr() instead of the controller and
+// drive the fault schedule from the test or experiment.
+type ControlProxy struct {
+	target string
+	ln     net.Listener
+
+	blackhole atomic.Bool
+	delayNs   atomic.Int64
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{} // both legs of every live relay
+	closed bool
+
+	// Accepted counts switch-side connections accepted; Forwarded and
+	// Discarded count relayed vs blackholed bytes (both directions).
+	Accepted  atomic.Uint64
+	Forwarded atomic.Uint64
+	Discarded atomic.Uint64
+}
+
+// NewControlProxy starts a relay on an ephemeral loopback port that
+// forwards to target (the controller's southbound address).
+func NewControlProxy(target string) (*ControlProxy, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &ControlProxy{
+		target: target,
+		ln:     ln,
+		conns:  make(map[net.Conn]struct{}),
+	}
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr is the address switches should dial instead of the controller.
+func (p *ControlProxy) Addr() string { return p.ln.Addr().String() }
+
+// Blackhole toggles silent discard: while on, bytes in both directions
+// are read and dropped, and — crucially — a broken leg does not close
+// its peer, so the far end sees a connection that is up but mute (a
+// half-open session). Turning blackhole off resumes forwarding on
+// connections that survived; use DropConnections to clear ones whose
+// other leg died while blackholed.
+func (p *ControlProxy) Blackhole(on bool) { p.blackhole.Store(on) }
+
+// Blackholed reports the current blackhole state.
+func (p *ControlProxy) Blackholed() bool { return p.blackhole.Load() }
+
+// SetDelay imposes an extra one-way delay on every relayed chunk in
+// both directions (so RTT grows by ~2d). Zero removes it.
+func (p *ControlProxy) SetDelay(d time.Duration) { p.delayNs.Store(int64(d)) }
+
+// DropConnections severs every live relay abruptly (RSTish: both legs
+// closed with relay state discarded), emulating a switch crash or a
+// stateful middlebox flushing its table. The listener stays up, so
+// reconnects succeed.
+func (p *ControlProxy) DropConnections() {
+	p.mu.Lock()
+	conns := make([]net.Conn, 0, len(p.conns))
+	for c := range p.conns {
+		conns = append(conns, c)
+	}
+	p.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// Close shuts the listener and severs all relays.
+func (p *ControlProxy) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	p.mu.Unlock()
+	err := p.ln.Close()
+	p.DropConnections()
+	return err
+}
+
+func (p *ControlProxy) acceptLoop() {
+	for {
+		src, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		dst, err := net.DialTimeout("tcp", p.target, 5*time.Second)
+		if err != nil {
+			src.Close()
+			continue
+		}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			src.Close()
+			dst.Close()
+			return
+		}
+		p.conns[src] = struct{}{}
+		p.conns[dst] = struct{}{}
+		p.mu.Unlock()
+		p.Accepted.Add(1)
+		go p.pump(src, dst)
+		go p.pump(dst, src)
+	}
+}
+
+// pump relays src→dst, honoring blackhole and delay. When src dies
+// while blackholed, the pump exits without touching dst — that is the
+// half-open emulation: dst's owner keeps a live, silent socket. In
+// normal operation src's death closes dst so EOF propagates.
+func (p *ControlProxy) pump(src, dst net.Conn) {
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			if p.blackhole.Load() {
+				p.Discarded.Add(uint64(n))
+			} else {
+				if d := p.delayNs.Load(); d > 0 {
+					time.Sleep(time.Duration(d))
+				}
+				if _, werr := dst.Write(buf[:n]); werr != nil {
+					err = werr
+				} else {
+					p.Forwarded.Add(uint64(n))
+				}
+			}
+		}
+		if err != nil {
+			if !p.blackhole.Load() {
+				dst.Close()
+				p.forget(dst)
+			}
+			p.forget(src)
+			src.Close()
+			return
+		}
+	}
+}
+
+func (p *ControlProxy) forget(c net.Conn) {
+	p.mu.Lock()
+	delete(p.conns, c)
+	p.mu.Unlock()
+}

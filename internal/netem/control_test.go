@@ -1,0 +1,189 @@
+package netem
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+// echoServer accepts connections and echoes bytes back until closed.
+func echoServer(t *testing.T) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				buf := make([]byte, 4096)
+				for {
+					n, err := c.Read(buf)
+					if n > 0 {
+						if _, err := c.Write(buf[:n]); err != nil {
+							break
+						}
+					}
+					if err != nil {
+						break
+					}
+				}
+				c.Close()
+			}()
+		}
+	}()
+	return ln
+}
+
+func dialProxy(t *testing.T, p *ControlProxy) net.Conn {
+	t.Helper()
+	c, err := net.DialTimeout("tcp", p.Addr(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+func TestControlProxyForwards(t *testing.T) {
+	ln := echoServer(t)
+	p, err := NewControlProxy(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	c := dialProxy(t, p)
+	msg := []byte("hello through the relay")
+	if _, err := c.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, len(msg))
+	_ = c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := readFull(c, buf); err != nil {
+		t.Fatalf("echo read: %v", err)
+	}
+	if string(buf) != string(msg) {
+		t.Fatalf("echoed %q, want %q", buf, msg)
+	}
+	if p.Accepted.Load() != 1 || p.Forwarded.Load() == 0 {
+		t.Errorf("counters: accepted=%d forwarded=%d", p.Accepted.Load(), p.Forwarded.Load())
+	}
+}
+
+// TestControlProxyBlackhole verifies the half-open emulation: bytes are
+// silently discarded, the connection stays open (reads time out rather
+// than EOF), and lifting the blackhole resumes forwarding.
+func TestControlProxyBlackhole(t *testing.T) {
+	ln := echoServer(t)
+	p, err := NewControlProxy(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	c := dialProxy(t, p)
+
+	p.Blackhole(true)
+	if _, err := c.Write([]byte("into the void")); err != nil {
+		t.Fatalf("write into blackhole should succeed locally: %v", err)
+	}
+	_ = c.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
+	buf := make([]byte, 16)
+	if _, err := c.Read(buf); err == nil {
+		t.Fatal("read succeeded through a blackholed relay")
+	} else if ne, ok := err.(net.Error); !ok || !ne.Timeout() {
+		t.Fatalf("blackholed read ended with %v, want timeout (half-open, not closed)", err)
+	}
+	deadline := time.Now().Add(time.Second)
+	for p.Discarded.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if p.Discarded.Load() == 0 {
+		t.Error("no bytes counted as discarded")
+	}
+
+	p.Blackhole(false)
+	if _, err := c.Write([]byte("back")); err != nil {
+		t.Fatal(err)
+	}
+	_ = c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := readFull(c, buf[:4]); err != nil {
+		t.Fatalf("echo after heal: %v", err)
+	}
+}
+
+func TestControlProxyDelay(t *testing.T) {
+	ln := echoServer(t)
+	p, err := NewControlProxy(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	c := dialProxy(t, p)
+
+	const d = 30 * time.Millisecond
+	p.SetDelay(d)
+	start := time.Now()
+	if _, err := c.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	_ = c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := readFull(c, buf); err != nil {
+		t.Fatal(err)
+	}
+	// One delay each way.
+	if rtt := time.Since(start); rtt < 2*d {
+		t.Errorf("rtt = %v, want >= %v", rtt, 2*d)
+	}
+}
+
+func TestControlProxyDropConnections(t *testing.T) {
+	ln := echoServer(t)
+	p, err := NewControlProxy(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	c := dialProxy(t, p)
+	if _, err := c.Write([]byte("warm")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	_ = c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := readFull(c, buf); err != nil {
+		t.Fatal(err)
+	}
+
+	p.DropConnections()
+	_ = c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := c.Read(buf); err == nil {
+		t.Fatal("connection survived DropConnections")
+	}
+	// The listener stays up: a redial works.
+	c2 := dialProxy(t, p)
+	if _, err := c2.Write([]byte("redial")); err != nil {
+		t.Fatal(err)
+	}
+	_ = c2.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := readFull(c2, make([]byte, 6)); err != nil {
+		t.Fatalf("echo after redial: %v", err)
+	}
+}
+
+// readFull reads exactly len(buf) bytes.
+func readFull(c net.Conn, buf []byte) (int, error) {
+	got := 0
+	for got < len(buf) {
+		n, err := c.Read(buf[got:])
+		got += n
+		if err != nil {
+			return got, err
+		}
+	}
+	return got, nil
+}

@@ -278,6 +278,12 @@ const (
 const (
 	FlagSendFlowRemoved uint16 = 1 << iota
 	FlagCheckOverlap
+	// FlagCookieFilter restricts FlowDelete/FlowDeleteStrict to entries
+	// whose cookie equals the mod's Cookie exactly. This is what makes
+	// session reconciliation race-free: a delete aimed at a stale
+	// entry cannot remove a fresh entry that replaced it under the same
+	// match, because the replacement carries a different cookie.
+	FlagCookieFilter
 )
 
 // FlowMod installs, modifies or removes flow entries.

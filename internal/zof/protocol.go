@@ -67,6 +67,7 @@ var (
 	ErrTypeMismatch   = errors.New("zof: reply type does not match request")
 	ErrConnClosed     = errors.New("zof: connection closed")
 	ErrHandshakeState = errors.New("zof: message illegal in current handshake state")
+	ErrEchoPayload    = errors.New("zof: echo reply payload does not match request")
 )
 
 // Message is a protocol message body. Implementations marshal themselves
