@@ -1,5 +1,5 @@
 // Command zbench regenerates the synthetic evaluation suite declared
-// in DESIGN.md: every experiment (E1-E9 plus ablations) prints the
+// in DESIGN.md: every experiment (E1-E10 plus ablations) prints the
 // table or series its SIGCOMM'13-style counterpart would report.
 //
 // Usage:
@@ -20,10 +20,10 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id: e1,e1a,e2,e3,e3a,e4,e5,e6,e7,e8,e9 or all")
+	exp := flag.String("exp", "all", "experiment id: e1,e1a,e2,e3,e3a,e4,e5,e6,e7,e8,e9,e10 or all")
 	quick := flag.Bool("quick", false, "reduced parameters for a fast pass")
 	seed := flag.Int64("seed", 1, "workload seed")
-	jsonOut := flag.String("json", "", "also write machine-readable results to this file (e7,e8,e9)")
+	jsonOut := flag.String("json", "", "also write machine-readable results to this file (e7,e8,e9,e10)")
 	flag.Parse()
 
 	run := func(id string) bool {
@@ -174,6 +174,30 @@ func main() {
 			cfg.Rules = 8
 		}
 		t, res, err := experiments.E9FaultRecovery(cfg)
+		if err != nil {
+			fail(err)
+		}
+		t.Fprint(os.Stdout)
+		if *jsonOut != "" {
+			data, err := json.MarshalIndent(res, "", "  ")
+			if err != nil {
+				fail(err)
+			}
+			if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+				fail(err)
+			}
+		}
+	}
+	if run("e10") {
+		ran++
+		cfg := experiments.E10Config{}
+		if *quick {
+			cfg.Switches = 3
+			cfg.Txns = 25
+			cfg.OpsPerSwitch = 2
+			cfg.PreRules = 4
+		}
+		t, res, err := experiments.E10Transactions(cfg)
 		if err != nil {
 			fail(err)
 		}

@@ -9,7 +9,10 @@ import (
 
 // ACL enforces deny rules network-wide: each rule is a match installed
 // at maximum priority with an empty action list (drop) on every switch,
-// present and future.
+// present and future. Deny and Allow apply fleet-wide changes as one
+// transaction: either every switch enforces the rule or none does, and
+// a failed commit undoes the map change so the security posture never
+// silently diverges from what the caller was told.
 type ACL struct {
 	mu       sync.Mutex
 	rules    map[uint64]zof.Match // id -> match
@@ -25,38 +28,59 @@ func NewACL() *ACL {
 // Name implements controller.App.
 func (a *ACL) Name() string { return "acl" }
 
-// Deny installs a network-wide drop rule, returning its id.
+// Deny installs a network-wide drop rule as one transaction, returning
+// its id, or 0 if any switch refused (in which case no switch enforces
+// the rule and the rule set is unchanged).
 func (a *ACL) Deny(c *controller.Controller, m zof.Match) uint64 {
 	a.mu.Lock()
 	a.next++
 	id := a.next
+	a.mu.Unlock()
+	txn := c.NewTxn()
+	for _, sc := range c.Switches() {
+		txn.Flow(sc.DPID(), &zof.FlowMod{
+			Command:  zof.FlowAdd,
+			Match:    m,
+			Priority: a.Priority,
+			Cookie:   id,
+			BufferID: zof.NoBuffer,
+			// No actions: drop.
+		})
+	}
+	if err := txn.Commit(); err != nil {
+		return 0
+	}
+	a.mu.Lock()
 	a.rules[id] = m
 	a.mu.Unlock()
-	for _, sc := range c.Switches() {
-		a.install(sc, m, id)
-	}
 	return id
 }
 
-// Allow removes a previously installed deny rule.
+// Allow removes a previously installed deny rule from every switch as
+// one transaction. On a failed commit the rule is kept (the rollback
+// restored it on every switch) and false is returned.
 func (a *ACL) Allow(c *controller.Controller, id uint64) bool {
 	a.mu.Lock()
 	m, ok := a.rules[id]
-	if ok {
-		delete(a.rules, id)
-	}
 	a.mu.Unlock()
 	if !ok {
 		return false
 	}
+	txn := c.NewTxn()
 	for _, sc := range c.Switches() {
-		_ = sc.InstallFlow(&zof.FlowMod{
+		txn.Flow(sc.DPID(), &zof.FlowMod{
 			Command:  zof.FlowDeleteStrict,
 			Match:    m,
 			Priority: a.Priority,
 			BufferID: zof.NoBuffer,
 		})
 	}
+	if err := txn.Commit(); err != nil {
+		return false
+	}
+	a.mu.Lock()
+	delete(a.rules, id)
+	a.mu.Unlock()
 	return true
 }
 

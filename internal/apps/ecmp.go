@@ -67,16 +67,30 @@ func (e *ECMPRouting) PacketIn(c *controller.Controller, ev controller.PacketInE
 	match.Wildcards &^= zof.WEthDst
 	match.EthDst = f.Eth.Dst
 
+	// The whole path installs as one transaction: every hop's optional
+	// GroupMod plus the FlowMod referencing it (staged in order, so the
+	// group exists before the flow on each switch), committed across all
+	// path switches atomically. A failed commit rolls the switches back
+	// and drops the freshly allocated group ids from the cache, so the
+	// next packet re-pushes groups under new ids instead of referencing
+	// ones that never landed.
+	txn := c.NewTxn()
+	var newKeys []ecmpKey
+	uncache := func() {
+		if len(newKeys) == 0 {
+			return
+		}
+		e.mu.Lock()
+		for _, k := range newKeys {
+			delete(e.groupFor, k)
+		}
+		e.mu.Unlock()
+	}
 	for i := len(path.Nodes) - 1; i >= 0; i-- {
 		node := path.Nodes[i]
-		sc, ok := c.Switch(uint64(node))
-		if !ok {
+		if _, ok := c.Switch(uint64(node)); !ok {
 			continue
 		}
-		// The per-switch install is a burst: an optional GroupMod
-		// followed by the FlowMod referencing it, framed back to back
-		// on the same connection so the group exists before the flow.
-		var burst []zof.Message
 		var action zof.Action
 		if uint64(node) == dst.DPID {
 			action = zof.Output(dst.Port)
@@ -84,16 +98,19 @@ func (e *ECMPRouting) PacketIn(c *controller.Controller, ev controller.PacketInE
 			hops := g.ECMPNextHops(node, topo.NodeID(dst.DPID))
 			switch len(hops) {
 			case 0:
+				uncache()
 				return false
 			case 1:
 				port, ok := g.PortToward(node, hops[0])
 				if !ok {
+					uncache()
 					return false
 				}
 				action = zof.Output(port)
 			default:
 				gid, installed := e.ensureGroup(uint64(node), f.Eth.Dst)
 				if !installed {
+					newKeys = append(newKeys, ecmpKey{uint64(node), f.Eth.Dst})
 					gm := &zof.GroupMod{
 						Command:   zof.GroupAdd,
 						GroupType: zof.GroupTypeSelect,
@@ -110,9 +127,10 @@ func (e *ECMPRouting) PacketIn(c *controller.Controller, ev controller.PacketInE
 						})
 					}
 					if len(gm.Buckets) == 0 {
+						uncache()
 						return false
 					}
-					burst = append(burst, gm)
+					txn.Group(uint64(node), gm)
 				}
 				action = zof.Group(gid)
 			}
@@ -128,8 +146,11 @@ func (e *ECMPRouting) PacketIn(c *controller.Controller, ev controller.PacketInE
 		if uint64(node) == ev.DPID {
 			fm.BufferID = ev.Msg.BufferID
 		}
-		burst = append(burst, fm)
-		_ = sc.SendBatch(burst...)
+		txn.Flow(uint64(node), fm)
+	}
+	if err := txn.Commit(); err != nil {
+		uncache()
+		return false
 	}
 	return true
 }

@@ -1,6 +1,7 @@
 package controller
 
 import (
+	"errors"
 	"fmt"
 	"log"
 	"net"
@@ -53,6 +54,25 @@ type Config struct {
 	// ReconcileTimeout bounds the flow-stats query of the post-reconnect
 	// cookie reconciliation pass; default 5s.
 	ReconcileTimeout time.Duration
+	// TxnTimeout bounds each barrier attempt of a transaction's commit
+	// fence and rollback verification; default 5s.
+	TxnTimeout time.Duration
+	// TxnRetries is how many times a transaction re-attempts a failed
+	// fence barrier (the ops themselves are never re-sent — GroupAdd is
+	// not idempotent). Default 1.
+	TxnRetries int
+	// AuditInterval enables the anti-entropy auditor: every interval the
+	// controller diffs each switch's flow table against its intended
+	// state and repairs drift. 0 disables auditing (the default).
+	AuditInterval time.Duration
+	// AuditTimeout bounds the stats query and repair barrier of one
+	// audit pass; default 2s.
+	AuditTimeout time.Duration
+	// ErrorHandler receives asynchronous zof.Error replies that belong
+	// to no pending request and no transaction — the fire-and-forget
+	// failures that used to vanish. Called from the connection's read
+	// goroutine: do not block. Nil logs them via Logf instead.
+	ErrorHandler func(AsyncError)
 	// Logf receives diagnostics; nil silences them.
 	Logf func(format string, args ...any)
 }
@@ -88,6 +108,10 @@ type Controller struct {
 	// guarded by mu).
 	nextEpoch uint64
 	lastEpoch map[uint64]uint64
+	// stores holds each DPID's intended-state record. Guarded by mu and
+	// persistent across sessions: a switch that crashes and returns is
+	// audited back to the configuration the controller still intends.
+	stores map[uint64]*FlowStore
 
 	switches atomic.Pointer[switchMap]
 	apps     atomic.Pointer[[]App]
@@ -97,8 +121,14 @@ type Controller struct {
 	loopWG sync.WaitGroup
 	connWG sync.WaitGroup
 
-	stats    DispatchStats
-	liveness LivenessStats
+	stats      DispatchStats
+	liveness   LivenessStats
+	txnStats   TxnStats
+	auditStats AuditStats
+	// asyncErrors counts Error replies that matched no pending request
+	// and no transaction watcher (satellite visibility for
+	// fire-and-forget failures).
+	asyncErrors metrics.Counter
 	// detectNanos records, for the most recent liveness eviction, the
 	// time from the send of the first probe of the fatal miss streak to
 	// the eviction decision (E9's detection-latency measurement).
@@ -134,6 +164,15 @@ func New(cfg Config) (*Controller, error) {
 	if cfg.ReconcileTimeout <= 0 {
 		cfg.ReconcileTimeout = 5 * time.Second
 	}
+	if cfg.TxnTimeout <= 0 {
+		cfg.TxnTimeout = 5 * time.Second
+	}
+	if cfg.TxnRetries <= 0 {
+		cfg.TxnRetries = 1
+	}
+	if cfg.AuditTimeout <= 0 {
+		cfg.AuditTimeout = 2 * time.Second
+	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
@@ -146,9 +185,11 @@ func New(cfg Config) (*Controller, error) {
 		ln:        ln,
 		nib:       NewNIB(),
 		lastEpoch: make(map[uint64]uint64),
+		stores:    make(map[uint64]*FlowStore),
 		shards:    make([]chan Event, cfg.DispatchWorkers),
 		quit:      make(chan struct{}),
 	}
+	c.txnStats.Latency = metrics.NewHistogram()
 	empty := make(switchMap)
 	c.switches.Store(&empty)
 	noApps := []App(nil)
@@ -162,6 +203,10 @@ func New(cfg Config) (*Controller, error) {
 	}
 	if cfg.Discovery {
 		c.disc.start(cfg.DiscoveryInterval)
+	}
+	if cfg.AuditInterval > 0 {
+		c.loopWG.Add(1)
+		go c.auditLoop()
 	}
 	return c, nil
 }
@@ -243,8 +288,21 @@ func (c *Controller) registerSwitch(sc *SwitchConn) (reconnect, ok bool) {
 	// installed through a SwitchConn).
 	sc.epoch = c.nextEpoch%((1<<16)-1) + 1
 	c.nextEpoch++
+	// The intended-state store is per-DPID and outlives sessions.
+	if c.stores[sc.dpid] == nil {
+		c.stores[sc.dpid] = NewFlowStore()
+	}
+	sc.store = c.stores[sc.dpid]
 	_, reconnect = c.lastEpoch[sc.dpid]
 	c.lastEpoch[sc.dpid] = sc.epoch
+	if reconnect {
+		// Block audits until reconcileFlows has flushed stale-epoch
+		// leftovers: an audit pass running first could re-add intended
+		// flows under their old-epoch cookies, which the reconciler
+		// would then flush from the switch AND the store, destroying
+		// intent. The flag drops when the reconcile pass completes.
+		sc.reconciling.Store(true)
+	}
 	old := *c.switches.Load()
 	next := make(switchMap, len(old)+1)
 	for k, v := range old {
@@ -366,6 +424,9 @@ func (c *Controller) serve(raw net.Conn) {
 		case *zof.PacketIn:
 			c.post(PacketInEvent{DPID: sc.dpid, Msg: *m})
 		case *zof.FlowRemoved:
+			// The switch retired the rule (timeout or delete); retire the
+			// matching intent so the auditor does not resurrect it.
+			sc.store.RemoveIfCookie(FlowKey{m.TableID, m.Match, m.Priority}, m.Cookie)
 			c.post(FlowRemovedEvent{DPID: sc.dpid, Msg: *m})
 		case *zof.PortStatus:
 			c.nib.setPort(sc.dpid, m.Port)
@@ -374,6 +435,21 @@ func (c *Controller) serve(raw net.Conn) {
 			_ = sc.conn.SendXID(&zof.EchoReply{Data: m.Data}, h.XID)
 		case *zof.Hello:
 			// ignore
+		case *zof.Error:
+			// A reply to a synchronous request resolves it; a reply to a
+			// transaction op lands in its fence window; anything else is a
+			// fire-and-forget failure the controller surfaces instead of
+			// dropping.
+			if sc.resolve(h.XID, msg) || sc.noteAsyncError(h.XID, m) {
+				break
+			}
+			c.asyncErrors.Inc()
+			ae := AsyncError{DPID: sc.dpid, XID: h.XID, Code: m.Code, Detail: m.Detail}
+			if c.cfg.ErrorHandler != nil {
+				c.cfg.ErrorHandler(ae)
+			} else {
+				c.cfg.Logf("async error: %v", ae)
+			}
 		default:
 			if !sc.resolve(h.XID, msg) {
 				c.cfg.Logf("unsolicited %v from %#x", msg.Type(), sc.dpid)
@@ -545,17 +621,31 @@ func (c *Controller) learnFromPacketIn(pi PacketInEvent) {
 	}
 }
 
-// Barrier synchronizes with every connected datapath. It reads the
-// lock-free registry snapshot, so a slow datapath never stalls
-// dispatch or registration.
+// Barrier synchronizes with every connected datapath. Barriers are
+// issued concurrently — a fleet-wide fence costs one RTT (plus the
+// slowest switch), not the sum — and the per-switch failures are
+// joined. It reads the lock-free registry snapshot, so a slow datapath
+// never stalls dispatch or registration.
 func (c *Controller) Barrier(timeout time.Duration) error {
-	for _, s := range c.Switches() {
-		if err := s.Barrier(timeout); err != nil {
-			return fmt.Errorf("barrier to %#x: %w", s.dpid, err)
-		}
+	switches := c.Switches()
+	errs := make([]error, len(switches))
+	var wg sync.WaitGroup
+	for i, s := range switches {
+		wg.Add(1)
+		go func(i int, s *SwitchConn) {
+			defer wg.Done()
+			if err := s.Barrier(timeout); err != nil {
+				errs[i] = fmt.Errorf("barrier to %#x: %w", s.dpid, err)
+			}
+		}(i, s)
 	}
-	return nil
+	wg.Wait()
+	return errors.Join(errs...)
 }
+
+// AsyncErrors returns the number of unsolicited Error replies seen
+// outside any request or transaction.
+func (c *Controller) AsyncErrors() uint64 { return c.asyncErrors.Value() }
 
 // WaitForSwitches blocks until n datapaths are connected or the timeout
 // elapses. It polls the registry snapshot without locking.

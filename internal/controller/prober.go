@@ -95,6 +95,7 @@ func (c *Controller) probeLoop(sc *SwitchConn) {
 // against concurrent reinstalls.
 func (c *Controller) reconcileFlows(sc *SwitchConn) {
 	defer c.connWG.Done()
+	defer sc.reconciling.Store(false)
 	// Order the pass after the apps' reinstalls: a marker through the
 	// DPID's dispatch shard proves the SwitchUp ahead of it has been
 	// handled (per-switch FIFO), and a barrier then proves the installs

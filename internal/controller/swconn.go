@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/zof"
@@ -35,9 +36,49 @@ type SwitchConn struct {
 	features zof.FeaturesReply
 	done     chan struct{} // closed when the connection is torn down
 
+	// store records the intended state of this datapath; set at
+	// registration and shared across the DPID's sessions (intent
+	// survives a switch crash). Every mod sent through this connection
+	// is recorded before it is written to the wire.
+	store *FlowStore
+
+	// txnMu serializes transactional commits and anti-entropy audits
+	// touching this switch: a commit's inverse-op computation and its
+	// sends must not interleave with another commit's, and the auditor
+	// must not mistake a mid-commit flow for drift. Multi-switch
+	// transactions acquire participants in ascending DPID order.
+	txnMu sync.Mutex
+
+	// reconciling is set from registration until the post-reconnect
+	// stale-epoch flush completes; the auditor skips the switch while
+	// it holds (see registerSwitch).
+	reconciling atomic.Bool
+
 	mu      sync.Mutex
 	pending map[uint32]chan zof.Message
+	watches map[uint32]*errCollector // txn XIDs → async-error collector
 	closed  bool
+}
+
+// errCollector accumulates the async Error replies observed for one
+// transaction's tracked XIDs.
+type errCollector struct {
+	mu   sync.Mutex
+	errs []AsyncError
+}
+
+func (w *errCollector) add(e AsyncError) {
+	w.mu.Lock()
+	w.errs = append(w.errs, e)
+	w.mu.Unlock()
+}
+
+func (w *errCollector) take() []AsyncError {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := w.errs
+	w.errs = nil
+	return out
 }
 
 // DPID returns the datapath id.
@@ -100,6 +141,7 @@ func handshake(conn *zof.Conn, timeout time.Duration) (*SwitchConn, error) {
 			features: *fr,
 			done:     make(chan struct{}),
 			pending:  make(map[uint32]chan zof.Message),
+			watches:  make(map[uint32]*errCollector),
 		}, nil
 	}
 }
@@ -115,14 +157,27 @@ func (s *SwitchConn) Send(msg zof.Message) error {
 // syscall instead of one per message. Apps that emit several messages
 // per event (routing installs, LB rule pairs, discovery probes) should
 // prefer it over message-at-a-time sends. FlowAdds in the burst are
-// stamped with the session epoch (see InstallFlow).
+// stamped with the session epoch (see InstallFlow), and every mod is
+// recorded in the intended-state store before the write.
 func (s *SwitchConn) SendBatch(msgs ...zof.Message) error {
 	for _, m := range msgs {
 		if fm, ok := m.(*zof.FlowMod); ok {
 			s.stamp(fm)
 		}
 	}
+	s.record(msgs...)
 	return s.conn.SendBatch(msgs...)
+}
+
+// record mirrors outgoing mods into the intended-state store. The
+// record happens before the wire write: a flow observed in a FlowStats
+// reply is therefore always already in the store, which is what lets
+// the auditor treat store-absent flows as drift rather than in-flight
+// installs.
+func (s *SwitchConn) record(msgs ...zof.Message) {
+	if s.store != nil {
+		s.store.Record(msgs...)
+	}
 }
 
 // stamp embeds the session epoch into a FlowAdd's cookie. App cookies
@@ -136,9 +191,11 @@ func (s *SwitchConn) stamp(fm *zof.FlowMod) {
 
 // InstallFlow sends a FlowMod. FlowAdds are stamped with the session
 // epoch in the cookie's upper 16 bits, so every flow this connection
-// installs is attributable to this session.
+// installs is attributable to this session. The mod is recorded in the
+// intended-state store before the write.
 func (s *SwitchConn) InstallFlow(fm *zof.FlowMod) error {
 	s.stamp(fm)
+	s.record(fm)
 	return s.Send(fm)
 }
 
@@ -147,9 +204,58 @@ func (s *SwitchConn) PacketOut(po *zof.PacketOut) error {
 	return s.Send(po)
 }
 
-// InstallGroup sends a GroupMod.
+// InstallGroup sends a GroupMod, recording it in the intended-state
+// store first.
 func (s *SwitchConn) InstallGroup(gm *zof.GroupMod) error {
+	s.record(gm)
 	return s.Send(gm)
+}
+
+// sendWatched writes msgs as one batch without stamping or recording —
+// the transaction engine's raw send: stamping happened at staging, and
+// the store only commits after the barrier fence. The XIDs are
+// allocated and routed into w before anything reaches the wire, so an
+// instant Error reply cannot slip past the watcher. Callers must
+// unwatchXIDs the returned XIDs when done.
+func (s *SwitchConn) sendWatched(w *errCollector, msgs ...zof.Message) ([]uint32, error) {
+	xids := make([]uint32, len(msgs))
+	for i := range xids {
+		xids[i] = s.conn.NextXID()
+	}
+	s.watchXIDs(xids, w)
+	return xids, s.conn.SendBatchXIDs(msgs, xids)
+}
+
+// watchXIDs routes any async Error reply carrying one of xids into w
+// instead of the controller's unsolicited-error path.
+func (s *SwitchConn) watchXIDs(xids []uint32, w *errCollector) {
+	s.mu.Lock()
+	for _, x := range xids {
+		s.watches[x] = w
+	}
+	s.mu.Unlock()
+}
+
+// unwatchXIDs removes the routes installed by watchXIDs.
+func (s *SwitchConn) unwatchXIDs(xids []uint32) {
+	s.mu.Lock()
+	for _, x := range xids {
+		delete(s.watches, x)
+	}
+	s.mu.Unlock()
+}
+
+// noteAsyncError hands an Error reply to the transaction watching its
+// XID, if any.
+func (s *SwitchConn) noteAsyncError(xid uint32, e *zof.Error) bool {
+	s.mu.Lock()
+	w := s.watches[xid]
+	s.mu.Unlock()
+	if w == nil {
+		return false
+	}
+	w.add(AsyncError{DPID: s.dpid, XID: xid, Code: e.Code, Detail: e.Detail})
+	return true
 }
 
 // request sends msg and blocks for the reply carrying the same xid.

@@ -1,6 +1,7 @@
 package dataplane
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -15,11 +16,12 @@ import (
 // Config tunes a Switch.
 type Config struct {
 	DPID        uint64
-	NumTables   int  // default 1
-	TableSize   int  // max entries per table; 0 = unbounded
-	DropOnMiss  bool // true: drop instead of packet-in on table miss
-	MissSendLen int  // bytes of packet carried in packet-in; default 128
-	Buffers     int  // packet buffer slots; default 256
+	NumTables   int   // default 1
+	TableSize   int   // max entries per table; 0 = unbounded
+	TableSizes  []int // per-table capacity override; index = table id, 0 = unbounded
+	DropOnMiss  bool  // true: drop instead of packet-in on table miss
+	MissSendLen int   // bytes of packet carried in packet-in; default 128
+	Buffers     int   // packet buffer slots; default 256
 	Clock       func() time.Time
 }
 
@@ -84,7 +86,11 @@ func NewSwitch(cfg Config) *Switch {
 		controllers: make(map[int]func(zof.Message)),
 	}
 	for i := 0; i < cfg.NumTables; i++ {
-		s.tables = append(s.tables, flowtable.NewTable(cfg.TableSize))
+		size := cfg.TableSize
+		if i < len(cfg.TableSizes) {
+			size = cfg.TableSizes[i]
+		}
+		s.tables = append(s.tables, flowtable.NewTable(size))
 	}
 	s.publishLocked()
 	return s
@@ -363,7 +369,20 @@ func (s *Switch) Process(msg zof.Message, xid uint32, reply func(zof.Message, ui
 	}
 }
 
+// codeError carries an explicit zof error code alongside the message,
+// for failures whose code cannot be derived from a sentinel error.
+type codeError struct {
+	code uint16
+	msg  string
+}
+
+func (e *codeError) Error() string { return e.msg }
+
 func errCode(err error) uint16 {
+	var ce *codeError
+	if errors.As(err, &ce) {
+		return ce.code
+	}
 	switch err {
 	case flowtable.ErrOverlap:
 		return zof.ErrCodeOverlap
@@ -371,6 +390,21 @@ func errCode(err error) uint16 {
 		return zof.ErrCodeTableFull
 	}
 	return zof.ErrCodeBadRequest
+}
+
+// validateActionsLocked rejects action lists referencing state the
+// switch does not have — today, group actions naming an uninstalled
+// group. Real silicon refuses such mods; accepting them here would let
+// the controller believe in rules that can never forward.
+func (s *Switch) validateActionsLocked(acts []zof.Action) error {
+	for _, a := range acts {
+		if a.Type == zof.ActGroup {
+			if _, ok := s.groups[a.Port]; !ok {
+				return &codeError{zof.ErrCodeBadGroup, fmt.Sprintf("no group %d", a.Port)}
+			}
+		}
+	}
+	return nil
 }
 
 // inject runs an action list for a control-plane-originated packet
@@ -392,6 +426,9 @@ func (s *Switch) flowModLocked(m *zof.FlowMod) error {
 	now := s.cfg.Clock()
 	switch m.Command {
 	case zof.FlowAdd:
+		if err := s.validateActionsLocked(m.Actions); err != nil {
+			return err
+		}
 		e := &flowtable.Entry{
 			Match:       m.Match,
 			Priority:    m.Priority,
@@ -405,6 +442,9 @@ func (s *Switch) flowModLocked(m *zof.FlowMod) error {
 			return err
 		}
 	case zof.FlowModify:
+		if err := s.validateActionsLocked(m.Actions); err != nil {
+			return err
+		}
 		t.Modify(m.Match, append([]zof.Action(nil), m.Actions...), m.Cookie)
 	case zof.FlowDelete:
 		if m.Flags&zof.FlagCookieFilter != 0 {
@@ -476,6 +516,21 @@ func (s *Switch) groupModLocked(m *zof.GroupMod) error {
 			return fmt.Errorf("no group %d", m.GroupID)
 		}
 		delete(s.groups, m.GroupID)
+		// Cascade: flows pointing at the deleted group are removed with
+		// it (OpenFlow group-delete semantics) so the pipeline never
+		// executes a dangling group reference.
+		now := s.cfg.Clock()
+		for ti, t := range s.tables {
+			removed := t.DeleteFunc(func(e *flowtable.Entry) bool {
+				for _, a := range e.Actions {
+					if a.Type == zof.ActGroup && a.Port == m.GroupID {
+						return true
+					}
+				}
+				return false
+			})
+			s.emitRemoved(uint8(ti), removed, now)
+		}
 		s.publishLocked()
 	default:
 		return fmt.Errorf("bad group_mod command %d", m.Command)

@@ -169,3 +169,35 @@ func TestE9QuickLifecycle(t *testing.T) {
 		t.Errorf("timings missing: %+v", pt)
 	}
 }
+
+func TestE10QuickTransactions(t *testing.T) {
+	_, res, err := E10Transactions(E10Config{
+		Switches:     3,
+		Txns:         10,
+		OpsPerSwitch: 2,
+		PreRules:     4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.RejectAborted || !res.RejectRolledBack || !res.RejectTablesIntact {
+		t.Errorf("rejection rollback: %+v", res)
+	}
+	if !res.CrashAborted || !res.CrashSurvivorsIntact || !res.CrashConverged {
+		t.Errorf("crash recovery: %+v", res)
+	}
+	if !res.DriftRepaired {
+		t.Error("drift not repaired")
+	}
+	// Acceptance: drift converges within two audit intervals. The poll
+	// itself adds slack, so budget a fraction over two.
+	if res.DriftAuditIntervals > 2.5 {
+		t.Errorf("drift repair took %.2f audit intervals", res.DriftAuditIntervals)
+	}
+	if res.QuiescentRepairs != 0 {
+		t.Errorf("quiescent repairs = %d, want 0", res.QuiescentRepairs)
+	}
+	if res.CommitP95MS <= 0 {
+		t.Errorf("commit latency missing: %+v", res)
+	}
+}

@@ -288,6 +288,17 @@ func (t *Table) DeleteStrictByCookie(m zof.Match, priority uint16, cookie uint64
 	})
 }
 
+// DeleteFunc removes every entry for which pred returns true and
+// returns the removed entries. It is the general-purpose deletion
+// primitive the datapath uses for cross-cutting sweeps, e.g. cascading
+// a group delete onto the flows that reference the group.
+func (t *Table) DeleteFunc(pred func(*Entry) bool) []*Entry {
+	return t.deleteIf(pred)
+}
+
+// Capacity returns the table's configured entry bound (0 = unbounded).
+func (t *Table) Capacity() int { return t.maxSize }
+
 func (t *Table) deleteIf(pred func(*Entry) bool) []*Entry {
 	var removed []*Entry
 	kept := t.entries[:0]

@@ -1,19 +1,48 @@
 package netem
 
 import (
+	"bufio"
+	"io"
 	"net"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/zof"
 )
 
+// FlowModDecision is a per-message verdict from a FlowModPolicy.
+type FlowModDecision int
+
+const (
+	// FlowModPass relays the message unchanged.
+	FlowModPass FlowModDecision = iota
+	// FlowModDrop silently discards the message — the op is lost on the
+	// wire, as if a lossy control network ate it.
+	FlowModDrop
+	// FlowModReject discards the message and writes a zof.Error with
+	// the message's XID and the policy's code back to the controller,
+	// emulating a switch refusing the op (table full, bad group, ...).
+	FlowModReject
+)
+
+// FlowModPolicy inspects a controller→switch FlowMod and decides its
+// fate. The code is the zof error code used when the decision is
+// FlowModReject. Called from the relay goroutine; must not block.
+type FlowModPolicy func(fm *zof.FlowMod) (FlowModDecision, uint16)
+
 // ControlProxy sits between a datapath and its controller as a
-// userspace TCP relay and injects control-channel faults the emulated
+// userspace relay and injects control-channel faults the emulated
 // data plane (Pipe/Network) cannot express: blackholing the zof
 // session without closing it — the classic half-open TCP failure a
-// liveness prober exists to detect — adding one-way delay, and
-// severing every connection at once to emulate a control-network
-// partition healing or a middlebox dropping state.
+// liveness prober exists to detect — adding one-way delay, severing
+// every connection at once to emulate a control-network partition
+// healing or a middlebox dropping state, and dropping or rejecting
+// individual FlowMods to exercise transactional rollback.
+//
+// The relay is frame-aware in both directions: it parses zof message
+// boundaries and forwards whole frames, so an injected Error reply can
+// never split a frame mid-stream.
 //
 // Point the switch's session at Addr() instead of the controller and
 // drive the fault schedule from the test or experiment.
@@ -24,15 +53,37 @@ type ControlProxy struct {
 	blackhole atomic.Bool
 	delayNs   atomic.Int64
 
+	pmu    sync.RWMutex
+	policy FlowModPolicy
+
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{} // both legs of every live relay
 	closed bool
 
 	// Accepted counts switch-side connections accepted; Forwarded and
 	// Discarded count relayed vs blackholed bytes (both directions).
-	Accepted  atomic.Uint64
-	Forwarded atomic.Uint64
-	Discarded atomic.Uint64
+	// DroppedMods counts FlowMods eaten by the policy (dropped or
+	// rejected); InjectedErrors counts Error replies written back on
+	// rejects.
+	Accepted       atomic.Uint64
+	Forwarded      atomic.Uint64
+	Discarded      atomic.Uint64
+	DroppedMods    atomic.Uint64
+	InjectedErrors atomic.Uint64
+}
+
+// SetFlowModPolicy installs (or, with nil, removes) the per-FlowMod
+// fault policy applied to controller→switch traffic.
+func (p *ControlProxy) SetFlowModPolicy(fn FlowModPolicy) {
+	p.pmu.Lock()
+	p.policy = fn
+	p.pmu.Unlock()
+}
+
+func (p *ControlProxy) flowModPolicy() FlowModPolicy {
+	p.pmu.RLock()
+	defer p.pmu.RUnlock()
+	return p.policy
 }
 
 // NewControlProxy starts a relay on an ephemeral loopback port that
@@ -121,33 +172,51 @@ func (p *ControlProxy) acceptLoop() {
 		p.conns[dst] = struct{}{}
 		p.mu.Unlock()
 		p.Accepted.Add(1)
-		go p.pump(src, dst)
-		go p.pump(dst, src)
+		// One write mutex per socket: the controller-side leg takes
+		// forwarded switch→controller frames AND injected Error replies,
+		// which must not interleave mid-frame.
+		srcMu, dstMu := new(sync.Mutex), new(sync.Mutex)
+		go p.pump(src, dst, srcMu, dstMu, false)
+		go p.pump(dst, src, dstMu, srcMu, true)
 	}
 }
 
-// pump relays src→dst, honoring blackhole and delay. When src dies
-// while blackholed, the pump exits without touching dst — that is the
-// half-open emulation: dst's owner keeps a live, silent socket. In
-// normal operation src's death closes dst so EOF propagates.
-func (p *ControlProxy) pump(src, dst net.Conn) {
-	buf := make([]byte, 32<<10)
+// readFrame reads one whole zof frame (header + body) from br into
+// buf, returning the frame bytes and parsed header.
+func readFrame(br *bufio.Reader, buf []byte) ([]byte, zof.Header, error) {
+	buf = buf[:0]
+	buf = append(buf, make([]byte, zof.HeaderLen)...)
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return buf, zof.Header{}, err
+	}
+	h, err := zof.DecodeHeader(buf)
+	if err != nil {
+		return buf, h, err
+	}
+	if int(h.Length) < zof.HeaderLen || int(h.Length) > zof.MaxMessageLen {
+		return buf, h, zof.ErrMessageTooBig
+	}
+	body := int(h.Length) - zof.HeaderLen
+	buf = append(buf, make([]byte, body)...)
+	if _, err := io.ReadFull(br, buf[zof.HeaderLen:]); err != nil {
+		return buf, h, err
+	}
+	return buf, h, nil
+}
+
+// pump relays whole zof frames src→dst, honoring blackhole, delay and
+// — on the controller→switch direction — the FlowMod policy. When src
+// dies while blackholed, the pump exits without touching dst — that is
+// the half-open emulation: dst's owner keeps a live, silent socket. In
+// normal operation src's death closes dst so EOF propagates. srcMu and
+// dstMu serialize writes to the respective sockets (injected Error
+// replies go back out src).
+func (p *ControlProxy) pump(src, dst net.Conn, srcMu, dstMu *sync.Mutex, ctlToSwitch bool) {
+	br := bufio.NewReaderSize(src, 64<<10)
+	var buf []byte
 	for {
-		n, err := src.Read(buf)
-		if n > 0 {
-			if p.blackhole.Load() {
-				p.Discarded.Add(uint64(n))
-			} else {
-				if d := p.delayNs.Load(); d > 0 {
-					time.Sleep(time.Duration(d))
-				}
-				if _, werr := dst.Write(buf[:n]); werr != nil {
-					err = werr
-				} else {
-					p.Forwarded.Add(uint64(n))
-				}
-			}
-		}
+		frame, h, err := readFrame(br, buf)
+		buf = frame
 		if err != nil {
 			if !p.blackhole.Load() {
 				dst.Close()
@@ -157,6 +226,48 @@ func (p *ControlProxy) pump(src, dst net.Conn) {
 			src.Close()
 			return
 		}
+		if p.blackhole.Load() {
+			p.Discarded.Add(uint64(len(frame)))
+			continue
+		}
+		if d := p.delayNs.Load(); d > 0 {
+			time.Sleep(time.Duration(d))
+		}
+		if ctlToSwitch && h.Type == zof.TypeFlowMod {
+			if policy := p.flowModPolicy(); policy != nil {
+				var fm zof.FlowMod
+				if fm.DecodeBody(frame[zof.HeaderLen:]) == nil {
+					switch decision, code := policy(&fm); decision {
+					case FlowModDrop:
+						p.DroppedMods.Add(1)
+						continue
+					case FlowModReject:
+						p.DroppedMods.Add(1)
+						rej, merr := zof.Marshal(&zof.Error{Code: code, Detail: "injected by proxy"}, h.XID)
+						if merr == nil {
+							srcMu.Lock()
+							_, werr := src.Write(rej)
+							srcMu.Unlock()
+							if werr == nil {
+								p.InjectedErrors.Add(1)
+							}
+						}
+						continue
+					}
+				}
+			}
+		}
+		dstMu.Lock()
+		_, werr := dst.Write(frame)
+		dstMu.Unlock()
+		if werr != nil {
+			dst.Close()
+			p.forget(dst)
+			p.forget(src)
+			src.Close()
+			return
+		}
+		p.Forwarded.Add(uint64(len(frame)))
 	}
 }
 

@@ -1,0 +1,171 @@
+// Plan execution: rendering each transition of a congestion-free
+// update plan as per-switch wire operations and driving them through a
+// caller-supplied transactional commit. Each transition is
+// make-before-break — the next configuration's groups and replacement
+// rules land before the previous configuration's leftovers are torn
+// down — so a switch applying its batch in order never drops a
+// commodity. Step N+1 is only attempted after step N's commit
+// succeeds; a failed commit aborts the update with the network at the
+// last committed configuration, which the plan guarantees is
+// congestion-free.
+package update
+
+import (
+	"fmt"
+
+	"repro/internal/te"
+	"repro/internal/topo"
+	"repro/internal/zof"
+)
+
+// ExecOptions tunes plan execution.
+type ExecOptions struct {
+	// Compile parameterizes the TE compiler (MatchFor and EgressPort
+	// are required, as for te.Compile).
+	Compile te.CompileOptions
+	// GroupIDStride separates the group-id ranges of adjacent
+	// configurations: configuration k allocates ids from
+	// Compile.GroupIDBase + (k%2)*GroupIDStride, so a transition's new
+	// groups never collide with the ones it is about to retire.
+	// Default 4096.
+	GroupIDStride uint32
+}
+
+// CommitFunc applies one transition's per-switch operations
+// atomically — all switches or none. The controller's Txn satisfies
+// this; tests can substitute anything. The ops map is keyed by
+// topology node id, which the zen emulation equates with DPID.
+type CommitFunc func(step int, ops map[topo.NodeID][]zof.Message) error
+
+// ExecReport summarizes an execution.
+type ExecReport struct {
+	// StepsApplied counts committed transitions.
+	StepsApplied int
+	// Aborted is true when a transition failed; the network remains at
+	// configuration index StepsApplied (the last safe one).
+	Aborted    bool
+	FailedStep int // transition index that failed (valid when Aborted)
+}
+
+// compileAt compiles configuration index k of a plan with the
+// parity-staggered group-id base and normalized defaults (so delete
+// ops can reference the same priority the adds used).
+func compileAt(a *te.Allocation, g *topo.Graph, opts ExecOptions, k int) ([]te.Program, te.CompileOptions, error) {
+	co := opts.Compile
+	if co.GroupIDBase == 0 {
+		co.GroupIDBase = 1000
+	}
+	if co.Priority == 0 {
+		co.Priority = 400
+	}
+	stride := opts.GroupIDStride
+	if stride == 0 {
+		stride = 4096
+	}
+	co.GroupIDBase += uint32(k%2) * stride
+	progs, err := te.Compile(a, g, co)
+	return progs, co, err
+}
+
+// ruleKey identifies one installed TE rule: commodity rules share the
+// compile priority, so (node, match) is the identity.
+type ruleKey struct {
+	node  topo.NodeID
+	match zof.Match
+}
+
+// StepOps renders the transition from plan configuration fromIndex to
+// fromIndex+1 as per-switch operation lists, make-before-break: new
+// groups and replacement FlowAdds first (add-or-replace repoints
+// surviving commodities), then strict deletes for rules no new
+// configuration covers, then GroupDeletes for the outgoing
+// configuration's groups (whose referencing flows are, by then, all
+// repointed or deleted — the datapath's group-delete cascade finds
+// nothing).
+func StepOps(from, to *te.Allocation, g *topo.Graph, opts ExecOptions, fromIndex int) (map[topo.NodeID][]zof.Message, error) {
+	fromProgs, fromOpts, err := compileAt(from, g, opts, fromIndex)
+	if err != nil {
+		return nil, fmt.Errorf("update: compiling step %d: %w", fromIndex, err)
+	}
+	toProgs, toOpts, err := compileAt(to, g, opts, fromIndex+1)
+	if err != nil {
+		return nil, fmt.Errorf("update: compiling step %d: %w", fromIndex+1, err)
+	}
+
+	ops := make(map[topo.NodeID][]zof.Message)
+	covered := make(map[ruleKey]bool)
+	for _, pr := range toProgs {
+		for node, msgs := range pr.FlowMods(toOpts) {
+			ops[node] = append(ops[node], msgs...)
+		}
+		for _, np := range pr.Nodes {
+			covered[ruleKey{np.Node, np.Match}] = true
+		}
+	}
+	for _, pr := range fromProgs {
+		for _, np := range pr.Nodes {
+			if covered[ruleKey{np.Node, np.Match}] {
+				continue
+			}
+			ops[np.Node] = append(ops[np.Node], &zof.FlowMod{
+				Command:  zof.FlowDeleteStrict,
+				Match:    np.Match,
+				Priority: fromOpts.Priority,
+				BufferID: zof.NoBuffer,
+			})
+		}
+	}
+	for _, pr := range fromProgs {
+		for _, np := range pr.Nodes {
+			if np.GroupID != 0 {
+				ops[np.Node] = append(ops[np.Node], &zof.GroupMod{
+					Command: zof.GroupDelete,
+					GroupID: np.GroupID,
+				})
+			}
+		}
+	}
+	return ops, nil
+}
+
+// InitialOps renders the plan's starting configuration (index 0) as
+// installable operations — the bootstrap for a network not yet
+// carrying the plan's old state.
+func (p *Plan) InitialOps(g *topo.Graph, opts ExecOptions) (map[topo.NodeID][]zof.Message, error) {
+	if len(p.Steps) == 0 {
+		return nil, fmt.Errorf("update: empty plan")
+	}
+	progs, co, err := compileAt(p.Steps[0], g, opts, 0)
+	if err != nil {
+		return nil, err
+	}
+	ops := make(map[topo.NodeID][]zof.Message)
+	for _, pr := range progs {
+		for node, msgs := range pr.FlowMods(co) {
+			ops[node] = append(ops[node], msgs...)
+		}
+	}
+	return ops, nil
+}
+
+// Execute drives the plan against live switches through commit, one
+// congestion-free transition at a time. Transition N+1 is attempted
+// only after N's commit succeeded; on failure the update aborts and
+// the report records the configuration the network was left at (the
+// transactional commit has rolled the failed transition back).
+func (p *Plan) Execute(g *topo.Graph, opts ExecOptions, commit CommitFunc) (ExecReport, error) {
+	var rep ExecReport
+	for i := 0; i+1 < len(p.Steps); i++ {
+		ops, err := StepOps(p.Steps[i], p.Steps[i+1], g, opts, i)
+		if err != nil {
+			rep.Aborted, rep.FailedStep = true, i
+			return rep, err
+		}
+		if err := commit(i, ops); err != nil {
+			rep.Aborted, rep.FailedStep = true, i
+			return rep, fmt.Errorf("update: transition %d: %w (network at configuration %d)", i, err, i)
+		}
+		rep.StepsApplied++
+	}
+	return rep, nil
+}

@@ -1,0 +1,237 @@
+package update
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/te"
+	"repro/internal/topo"
+	"repro/internal/workload"
+	"repro/internal/zof"
+)
+
+// execGraph is the diamond: 1 reaches 4 via 2 (up) or 3 (down).
+func execGraph() *topo.Graph {
+	g := topo.New()
+	g.AddLink(topo.Link{A: 1, B: 2, APort: 1, BPort: 1, Capacity: 10})
+	g.AddLink(topo.Link{A: 2, B: 4, APort: 2, BPort: 1, Capacity: 10})
+	g.AddLink(topo.Link{A: 1, B: 3, APort: 2, BPort: 1, Capacity: 10})
+	g.AddLink(topo.Link{A: 3, B: 4, APort: 2, BPort: 2, Capacity: 10})
+	return g
+}
+
+func execOpts() ExecOptions {
+	return ExecOptions{Compile: te.CompileOptions{
+		MatchFor: func(c te.CommodityAlloc) zof.Match {
+			m := zof.MatchAll()
+			m.Wildcards &^= zof.WEthDst
+			m.EthDst[5] = byte(c.Demand.Dst)
+			return m
+		},
+		EgressPort: func(dst topo.NodeID) uint32 { return 9 },
+	}}
+}
+
+// allocUp routes the commodity on the single path 1-2-4.
+func allocUp(g *topo.Graph) *te.Allocation {
+	return &te.Allocation{
+		LinkLoad: map[topo.LinkKey]float64{},
+		LinkCap:  Capacities(g),
+		Commodities: []te.CommodityAlloc{{
+			Demand:    workload.Demand{Src: 1, Dst: 4, Rate: 10},
+			Allocated: 10,
+			Paths: []te.PathAlloc{
+				{Path: topo.Path{Nodes: []topo.NodeID{1, 2, 4}, Cost: 2}, Rate: 10},
+			},
+		}},
+	}
+}
+
+// allocSplit splits the commodity across both arms, so node 1 needs a
+// select group.
+func allocSplit(g *topo.Graph) *te.Allocation {
+	return &te.Allocation{
+		LinkLoad: map[topo.LinkKey]float64{},
+		LinkCap:  Capacities(g),
+		Commodities: []te.CommodityAlloc{{
+			Demand:    workload.Demand{Src: 1, Dst: 4, Rate: 10},
+			Allocated: 10,
+			Paths: []te.PathAlloc{
+				{Path: topo.Path{Nodes: []topo.NodeID{1, 2, 4}, Cost: 2}, Rate: 5},
+				{Path: topo.Path{Nodes: []topo.NodeID{1, 3, 4}, Cost: 2}, Rate: 5},
+			},
+		}},
+	}
+}
+
+// opKinds renders one node's op list as a compact sequence for
+// ordering assertions.
+func opKinds(msgs []zof.Message) string {
+	var b strings.Builder
+	for _, m := range msgs {
+		switch v := m.(type) {
+		case *zof.GroupMod:
+			if v.Command == zof.GroupAdd {
+				b.WriteString("G+")
+			} else {
+				b.WriteString("G-")
+			}
+		case *zof.FlowMod:
+			switch v.Command {
+			case zof.FlowAdd:
+				b.WriteString("F+")
+			case zof.FlowDeleteStrict:
+				b.WriteString("F-")
+			default:
+				b.WriteString("F?")
+			}
+		default:
+			b.WriteString("??")
+		}
+	}
+	return b.String()
+}
+
+// TestStepOpsMakeBeforeBreak: rendering the split→single transition
+// must land replacement adds before deletes, tear down the uncovered
+// rule on the abandoned arm, and delete the outgoing group last.
+func TestStepOpsMakeBeforeBreak(t *testing.T) {
+	g := execGraph()
+	ops, err := StepOps(allocSplit(g), allocUp(g), g, execOpts(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node 1 survives in both configs: its replacement FlowAdd repoints
+	// the rule, then the old select group goes.
+	if got := opKinds(ops[1]); got != "F+G-" {
+		t.Errorf("node 1 ops = %s, want F+G-", got)
+	}
+	// Node 3 carries traffic only in the old config: strict delete, no
+	// group involved.
+	if got := opKinds(ops[3]); got != "F-" {
+		t.Errorf("node 3 ops = %s, want F-", got)
+	}
+	// Nodes 2 and 4 are covered by the new config: adds only.
+	for _, n := range []topo.NodeID{2, 4} {
+		if got := opKinds(ops[n]); got != "F+" {
+			t.Errorf("node %d ops = %s, want F+", n, got)
+		}
+	}
+	// The uncovered delete must use the compile priority so it hits the
+	// rule the old config's add installed.
+	del := ops[3][0].(*zof.FlowMod)
+	if del.Priority != 400 {
+		t.Errorf("delete priority = %d, want normalized 400", del.Priority)
+	}
+	// The deleted group belongs to the outgoing configuration's id range
+	// (index 0 → unstaggered base).
+	gd := ops[1][1].(*zof.GroupMod)
+	if gd.GroupID < 1000 || gd.GroupID >= 1000+4096 {
+		t.Errorf("group delete id = %d, want in [1000,5096)", gd.GroupID)
+	}
+}
+
+// TestStepOpsParityStaggersGroupIDs: adjacent configurations allocate
+// group ids from disjoint ranges, so a transition's new groups never
+// collide with the ones it retires.
+func TestStepOpsParityStaggersGroupIDs(t *testing.T) {
+	g := execGraph()
+	// single→split at even index: the incoming config (index 1) uses the
+	// staggered base.
+	ops, err := StepOps(allocUp(g), allocSplit(g), g, execOpts(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var added uint32
+	for _, m := range ops[1] {
+		if gm, ok := m.(*zof.GroupMod); ok && gm.Command == zof.GroupAdd {
+			added = gm.GroupID
+		}
+	}
+	if added < 1000+4096 {
+		t.Errorf("incoming group id = %d, want staggered >= 5096", added)
+	}
+	// The same transition starting at an odd index flips the parity.
+	ops, err = StepOps(allocUp(g), allocSplit(g), g, execOpts(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	added = 0
+	for _, m := range ops[1] {
+		if gm, ok := m.(*zof.GroupMod); ok && gm.Command == zof.GroupAdd {
+			added = gm.GroupID
+		}
+	}
+	if added < 1000 || added >= 1000+4096 {
+		t.Errorf("incoming group id = %d, want unstaggered in [1000,5096)", added)
+	}
+}
+
+// TestInitialOpsBootstrap: the starting configuration renders as
+// group-before-flow install batches.
+func TestInitialOpsBootstrap(t *testing.T) {
+	g := execGraph()
+	p := &Plan{Steps: []*te.Allocation{allocSplit(g), allocUp(g)}}
+	ops, err := p.InitialOps(g, execOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := opKinds(ops[1]); got != "G+F+" {
+		t.Errorf("node 1 bootstrap = %s, want G+F+", got)
+	}
+	for _, n := range []topo.NodeID{2, 3, 4} {
+		if got := opKinds(ops[n]); got != "F+" {
+			t.Errorf("node %d bootstrap = %s, want F+", n, got)
+		}
+	}
+}
+
+// TestExecuteCommitsEveryTransition: a cooperative commit sees every
+// transition in order and the report counts them all.
+func TestExecuteCommitsEveryTransition(t *testing.T) {
+	g := execGraph()
+	p := &Plan{Steps: []*te.Allocation{allocSplit(g), allocUp(g), allocSplit(g)}}
+	var steps []int
+	rep, err := p.Execute(g, execOpts(), func(step int, ops map[topo.NodeID][]zof.Message) error {
+		steps = append(steps, step)
+		if len(ops) == 0 {
+			return fmt.Errorf("empty transition %d", step)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Aborted || rep.StepsApplied != 2 {
+		t.Errorf("report = %+v, want 2 applied, not aborted", rep)
+	}
+	if len(steps) != 2 || steps[0] != 0 || steps[1] != 1 {
+		t.Errorf("commit order = %v, want [0 1]", steps)
+	}
+}
+
+// TestExecuteAbortsOnCommitFailure: a failed commit stops the update,
+// names the failed transition, and reports the configuration the
+// network was left at.
+func TestExecuteAbortsOnCommitFailure(t *testing.T) {
+	g := execGraph()
+	p := &Plan{Steps: []*te.Allocation{allocSplit(g), allocUp(g), allocSplit(g)}}
+	boom := errors.New("switch rejected batch")
+	rep, err := p.Execute(g, execOpts(), func(step int, ops map[topo.NodeID][]zof.Message) error {
+		if step == 1 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped commit failure", err)
+	}
+	if !rep.Aborted || rep.FailedStep != 1 || rep.StepsApplied != 1 {
+		t.Errorf("report = %+v, want aborted at 1 with 1 applied", rep)
+	}
+	if !strings.Contains(err.Error(), "network at configuration 1") {
+		t.Errorf("error %q does not name the safe configuration", err)
+	}
+}

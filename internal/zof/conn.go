@@ -147,6 +147,49 @@ func (c *Conn) SendBatch(msgs ...Message) error {
 	return c.flushLocked()
 }
 
+// SendBatchTracked is SendBatch for callers that need to correlate
+// asynchronous Error replies with individual messages: it returns the
+// XID assigned to each message, in order. On error the slice holds the
+// XIDs of the messages framed so far.
+func (c *Conn) SendBatchTracked(msgs ...Message) ([]uint32, error) {
+	if len(msgs) == 0 {
+		return nil, nil
+	}
+	xids := make([]uint32, 0, len(msgs))
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	for _, m := range msgs {
+		xid := c.NextXID()
+		if err := c.writeLocked(m, xid); err != nil {
+			return xids, err
+		}
+		xids = append(xids, xid)
+	}
+	return xids, c.flushLocked()
+}
+
+// SendBatchXIDs frames msgs with caller-assigned XIDs (one per
+// message, pre-allocated via NextXID) and flushes once. It exists for
+// callers that must register reply routing for the XIDs before the
+// messages can reach the peer — a transaction engine watching for
+// async Error replies cannot afford the window between send and watch.
+func (c *Conn) SendBatchXIDs(msgs []Message, xids []uint32) error {
+	if len(msgs) != len(xids) {
+		return fmt.Errorf("zof: %d messages with %d xids", len(msgs), len(xids))
+	}
+	if len(msgs) == 0 {
+		return nil
+	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	for i, m := range msgs {
+		if err := c.writeLocked(m, xids[i]); err != nil {
+			return err
+		}
+	}
+	return c.flushLocked()
+}
+
 // Flush forces any buffered writes to the transport.
 func (c *Conn) Flush() error {
 	c.wmu.Lock()

@@ -196,3 +196,72 @@ func BenchmarkMarshalAppend(b *testing.B) {
 		buf = out
 	}
 }
+
+// TestSendBatchTracked returns the fresh XID assigned to each message
+// in the burst, in order, and the peer observes exactly those XIDs.
+func TestSendBatchTracked(t *testing.T) {
+	a, b := tcpPair(t)
+	ca, cb := NewConn(a), NewConn(b)
+	defer ca.Close()
+	defer cb.Close()
+
+	msgs := batchCorpus()
+	xids, err := ca.SendBatchTracked(msgs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(xids) != len(msgs) {
+		t.Fatalf("xids = %d, want %d", len(xids), len(msgs))
+	}
+	seen := map[uint32]bool{}
+	for i := range msgs {
+		got, h, err := cb.Receive()
+		if err != nil {
+			t.Fatalf("receive %d: %v", i, err)
+		}
+		if got.Type() != msgs[i].Type() {
+			t.Fatalf("message %d: type %v, want %v", i, got.Type(), msgs[i].Type())
+		}
+		if h.XID != xids[i] {
+			t.Errorf("message %d: xid %d, want %d", i, h.XID, xids[i])
+		}
+		if seen[h.XID] {
+			t.Errorf("xid %d reused", h.XID)
+		}
+		seen[h.XID] = true
+	}
+	if xids2, err := ca.SendBatchTracked(); err != nil || len(xids2) != 0 {
+		t.Fatalf("empty tracked batch: %v %v", xids2, err)
+	}
+}
+
+// TestSendBatchXIDs writes a burst under caller-assigned XIDs — the
+// transaction engine's pre-registered-watcher path — and rejects a
+// length mismatch without writing anything.
+func TestSendBatchXIDs(t *testing.T) {
+	a, b := tcpPair(t)
+	ca, cb := NewConn(a), NewConn(b)
+	defer ca.Close()
+	defer cb.Close()
+
+	msgs := batchCorpus()
+	xids := make([]uint32, len(msgs))
+	for i := range xids {
+		xids[i] = uint32(9000 + i)
+	}
+	if err := ca.SendBatchXIDs(msgs, xids); err != nil {
+		t.Fatal(err)
+	}
+	for i := range msgs {
+		_, h, err := cb.Receive()
+		if err != nil {
+			t.Fatalf("receive %d: %v", i, err)
+		}
+		if h.XID != xids[i] {
+			t.Errorf("message %d: xid %d, want %d", i, h.XID, xids[i])
+		}
+	}
+	if err := ca.SendBatchXIDs(msgs, xids[:1]); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}

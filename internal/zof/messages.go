@@ -1,6 +1,10 @@
 package zof
 
-import "repro/internal/packet"
+import (
+	"fmt"
+
+	"repro/internal/packet"
+)
 
 // --- Hello, Echo, Barrier --------------------------------------------------
 
@@ -60,6 +64,32 @@ const (
 	ErrCodeOverlap
 	ErrCodeIsSlave
 )
+
+// ErrCodeName returns a human-readable name for an error code, for
+// logs and counters.
+func ErrCodeName(code uint16) string {
+	switch code {
+	case ErrCodeBadRequest:
+		return "bad-request"
+	case ErrCodeBadMatch:
+		return "bad-match"
+	case ErrCodeBadAction:
+		return "bad-action"
+	case ErrCodeTableFull:
+		return "table-full"
+	case ErrCodeBadTable:
+		return "bad-table"
+	case ErrCodeBadPort:
+		return "bad-port"
+	case ErrCodeBadGroup:
+		return "bad-group"
+	case ErrCodeOverlap:
+		return "overlap"
+	case ErrCodeIsSlave:
+		return "is-slave"
+	}
+	return fmt.Sprintf("code-%d", code)
+}
 
 // Error reports a failure processing the message identified by XID (the
 // error reply reuses the offending message's XID).
