@@ -25,6 +25,7 @@ import (
 	"repro/internal/apps"
 	"repro/internal/controller"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/topo"
 )
@@ -37,6 +38,8 @@ func main() {
 	emulate := flag.Bool("emulate", false, "also emulate the topology in-process")
 	vip := flag.String("vip", "10.0.0.100", "load balancer VIP (with apps=lb)")
 	httpAddr := flag.String("http", "", "northbound REST listen address (empty = disabled)")
+	debugAddr := flag.String("debug", "", "pprof/metrics debug listen address (empty = disabled)")
+	traceMode := flag.String("trace", "off", "control-loop tracing: off, sampled, full")
 	flag.Parse()
 
 	var appObjs []controller.App
@@ -72,14 +75,25 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 
 	serveREST := func(ctl *controller.Controller) {
-		if *httpAddr == "" {
-			return
+		mode, ok := obs.ParseTraceMode(*traceMode)
+		if !ok {
+			log.Fatalf("zend: bad -trace %q (want off, sampled or full)", *traceMode)
 		}
-		addr, _, err := ctl.ServeHTTP(*httpAddr)
-		if err != nil {
-			log.Fatalf("zend: %v", err)
+		ctl.Tracing().SetMode(mode)
+		if *httpAddr != "" {
+			addr, _, err := ctl.ServeHTTP(*httpAddr)
+			if err != nil {
+				log.Fatalf("zend: %v", err)
+			}
+			log.Printf("zend: northbound REST on http://%s/v1/", addr)
 		}
-		log.Printf("zend: northbound REST on http://%s/v1/", addr)
+		if *debugAddr != "" {
+			addr, _, err := ctl.ServeDebug(*debugAddr)
+			if err != nil {
+				log.Fatalf("zend: %v", err)
+			}
+			log.Printf("zend: debug (pprof, metrics) on http://%s/debug/", addr)
+		}
 	}
 
 	if *emulate {

@@ -10,6 +10,8 @@ import (
 	"time"
 
 	"repro/internal/controller"
+	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/topo"
 	"repro/internal/zof"
@@ -25,6 +27,12 @@ type LearningSwitch struct {
 	macs        map[uint64]map[packet.MAC]uint32 // dpid -> mac -> port
 	IdleTimeout uint16                           // seconds; default 60
 	HardTimeout uint16
+
+	// installs counts flows installed toward learned destinations;
+	// floods counts spanning-tree packet-out floods. Published as
+	// apps.l2-learning.* via RegisterMetrics.
+	installs metrics.Counter
+	floods   metrics.Counter
 }
 
 // NewLearningSwitch returns the app.
@@ -34,6 +42,21 @@ func NewLearningSwitch() *LearningSwitch {
 
 // Name implements controller.App.
 func (l *LearningSwitch) Name() string { return "l2-learning" }
+
+// RegisterMetrics implements controller.MetricsRegistrant.
+func (l *LearningSwitch) RegisterMetrics(sc obs.Scope) {
+	sc.RegisterCounter("installs", &l.installs)
+	sc.RegisterCounter("floods", &l.floods)
+	sc.RegisterFunc("macs", func() int64 {
+		l.mu.Lock()
+		defer l.mu.Unlock()
+		n := 0
+		for _, t := range l.macs {
+			n += len(t)
+		}
+		return int64(n)
+	})
+}
 
 // SwitchUp implements controller.SwitchHandler.
 func (l *LearningSwitch) SwitchUp(c *controller.Controller, ev controller.SwitchUp) {}
@@ -83,10 +106,12 @@ func (l *LearningSwitch) PacketIn(c *controller.Controller, ev controller.Packet
 			BufferID:    ev.Msg.BufferID,
 			Actions:     []zof.Action{zof.Output(outPort)},
 		})
+		l.installs.Inc()
 		return true
 	}
 	// Unknown or multicast: flood along the spanning tree.
 	l.floodPacket(c, sc, ev)
+	l.floods.Inc()
 	return true
 }
 

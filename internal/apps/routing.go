@@ -5,6 +5,8 @@ import (
 	"sync/atomic"
 
 	"repro/internal/controller"
+	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/topo"
 	"repro/internal/zof"
@@ -27,6 +29,10 @@ type Routing struct {
 	installed   map[pairKey][]uint64
 	IdleTimeout uint16
 	Priority    uint16
+
+	// routes counts paths installed (one per routed MAC pair per
+	// packet-in). Published as apps.spf-routing.* via RegisterMetrics.
+	routes metrics.Counter
 }
 
 type pairKey struct {
@@ -40,6 +46,17 @@ func NewRouting() *Routing {
 
 // Name implements controller.App.
 func (r *Routing) Name() string { return "spf-routing" }
+
+// RegisterMetrics implements controller.MetricsRegistrant.
+func (r *Routing) RegisterMetrics(sc obs.Scope) {
+	sc.RegisterCounter("routes", &r.routes)
+	sc.RegisterFunc("flushes", func() int64 { return int64(r.Flushes.Load()) })
+	sc.RegisterFunc("pairs", func() int64 {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		return int64(len(r.installed))
+	})
+}
 
 // PacketIn implements controller.PacketInHandler.
 func (r *Routing) PacketIn(c *controller.Controller, ev controller.PacketInEvent) bool {
@@ -121,6 +138,7 @@ func (r *Routing) PacketIn(c *controller.Controller, ev controller.PacketInEvent
 	r.mu.Lock()
 	r.installed[key] = holders
 	r.mu.Unlock()
+	r.routes.Inc()
 	return true
 }
 

@@ -90,7 +90,7 @@ func TestAuditRetiresExpired(t *testing.T) {
 	if len(ctl.IntendedFlows(1)) != 0 {
 		t.Error("expired rule still intended")
 	}
-	if ctl.Audits().Expired.Value() != 1 {
+	if n, _ := ctl.Metrics().Value("controller.audit.expired"); n != 1 {
 		t.Error("expired counter not bumped")
 	}
 }
@@ -106,7 +106,7 @@ func TestAuditSkipsBusySwitch(t *testing.T) {
 	if !errors.Is(err, ErrAuditBusy) {
 		t.Fatalf("audit under txn lock: %v, want ErrAuditBusy", err)
 	}
-	if ctl.Audits().Skipped.Value() != 1 {
+	if n, _ := ctl.Metrics().Value("controller.audit.skipped"); n != 1 {
 		t.Error("skip not counted")
 	}
 }
@@ -145,7 +145,7 @@ func TestAuditVsConcurrentInstalls(t *testing.T) {
 		}, time.Second)
 		return err == nil && len(rep.Flows) == installers*perInstaller
 	})
-	if got := ctl.Audits().Alien.Value(); got != 0 {
+	if got, _ := ctl.Metrics().Value("controller.audit.alien"); got != 0 {
 		t.Errorf("auditor deleted %d legitimate installs as alien", got)
 	}
 	if len(ctl.IntendedFlows(1)) != installers*perInstaller {

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/zof"
 )
@@ -68,6 +69,11 @@ type Config struct {
 	// AuditTimeout bounds the stats query and repair barrier of one
 	// audit pass; default 2s.
 	AuditTimeout time.Duration
+	// TraceBuffer is the control-loop flight recorder's ring capacity
+	// (last-N traced events retained); 0 means 1024. Tracing starts in
+	// TraceOff regardless — flip it at runtime via Tracing().SetMode or
+	// POST /v1/trace/mode.
+	TraceBuffer int
 	// ErrorHandler receives asynchronous zof.Error replies that belong
 	// to no pending request and no transaction — the fire-and-forget
 	// failures that used to vanish. Called from the connection's read
@@ -114,12 +120,21 @@ type Controller struct {
 	stores map[uint64]*FlowStore
 
 	switches atomic.Pointer[switchMap]
-	apps     atomic.Pointer[[]App]
+	apps     atomic.Pointer[[]appEntry]
 
-	shards []chan Event
+	shards []chan queuedEvent
 	quit   chan struct{}
 	loopWG sync.WaitGroup
 	connWG sync.WaitGroup
+
+	// reg is the unified metric registry (see Metrics); rec the
+	// control-loop flight recorder (see Tracing); connStats the
+	// fleet-aggregate southbound wire counters every switch connection
+	// shares; tracers the per-DPID pipeline tracers (guarded by mu).
+	reg       *obs.Registry
+	rec       *obs.FlightRecorder
+	connStats zof.ConnStats
+	tracers   map[uint64]TracerFunc
 
 	stats      DispatchStats
 	liveness   LivenessStats
@@ -186,19 +201,23 @@ func New(cfg Config) (*Controller, error) {
 		nib:       NewNIB(),
 		lastEpoch: make(map[uint64]uint64),
 		stores:    make(map[uint64]*FlowStore),
-		shards:    make([]chan Event, cfg.DispatchWorkers),
+		shards:    make([]chan queuedEvent, cfg.DispatchWorkers),
 		quit:      make(chan struct{}),
+		reg:       obs.NewRegistry(),
+		rec:       obs.NewFlightRecorder(cfg.TraceBuffer),
+		tracers:   make(map[uint64]TracerFunc),
 	}
 	c.txnStats.Latency = metrics.NewHistogram()
+	c.registerMetrics()
 	empty := make(switchMap)
 	c.switches.Store(&empty)
-	noApps := []App(nil)
+	noApps := []appEntry(nil)
 	c.apps.Store(&noApps)
 	c.disc = newDiscovery(c)
 	c.loopWG.Add(1 + len(c.shards))
 	go c.acceptLoop()
 	for i := range c.shards {
-		c.shards[i] = make(chan Event, cfg.EventQueue)
+		c.shards[i] = make(chan queuedEvent, cfg.EventQueue)
 		go c.dispatchLoop(c.shards[i])
 	}
 	if cfg.Discovery {
@@ -218,9 +237,13 @@ func (c *Controller) Addr() string { return c.ln.Addr().String() }
 func (c *Controller) NIB() *NIB { return c.nib }
 
 // Stats exposes the dispatch health counters.
+//
+// Deprecated: read controller.dispatch.* from Metrics() instead.
 func (c *Controller) Stats() *DispatchStats { return &c.stats }
 
 // Liveness exposes the prober/reconciler health counters.
+//
+// Deprecated: read controller.liveness.* from Metrics() instead.
 func (c *Controller) Liveness() *LivenessStats { return &c.liveness }
 
 // LastDetection returns, for the most recent liveness eviction, the
@@ -228,12 +251,17 @@ func (c *Controller) Liveness() *LivenessStats { return &c.liveness }
 // peer being declared dead — the detection latency the miss budget
 // bounds at ProbeInterval × ProbeMisses (for ProbeTimeout ≤
 // ProbeInterval). Zero if no eviction has happened.
+//
+// Deprecated: read controller.liveness.last_detection_ns from
+// Metrics() instead.
 func (c *Controller) LastDetection() time.Duration {
 	return time.Duration(c.detectNanos.Load())
 }
 
 // QueuedEvents returns the instantaneous number of events waiting
 // across all dispatch shards.
+//
+// Deprecated: read controller.dispatch.queued from Metrics() instead.
 func (c *Controller) QueuedEvents() int {
 	n := 0
 	for _, sh := range c.shards {
@@ -245,12 +273,23 @@ func (c *Controller) QueuedEvents() int {
 // Use registers apps, in dispatch order. Call before switches connect
 // for deterministic behavior; registration is safe at any time and
 // never stalls in-flight dispatch — the app list is republished
-// copy-on-write and workers read the snapshot lock-free.
+// copy-on-write and workers read the snapshot lock-free. Each app's
+// handler latency histogram (controller.app.<name>.latency) is
+// resolved here, once, so traced dispatches never touch the registry.
 func (c *Controller) Use(apps ...App) {
 	c.mu.Lock()
 	old := *c.apps.Load()
-	next := make([]App, 0, len(old)+len(apps))
-	next = append(append(next, old...), apps...)
+	next := make([]appEntry, 0, len(old)+len(apps))
+	next = append(next, old...)
+	for _, a := range apps {
+		next = append(next, appEntry{
+			app: a,
+			lat: c.reg.Histogram("controller.app." + a.Name() + ".latency"),
+		})
+		if mr, ok := a.(MetricsRegistrant); ok {
+			mr.RegisterMetrics(c.reg.Scope("apps." + a.Name()))
+		}
+	}
 	c.apps.Store(&next)
 	c.mu.Unlock()
 }
@@ -387,6 +426,9 @@ func (c *Controller) acceptLoop() {
 func (c *Controller) serve(raw net.Conn) {
 	defer c.connWG.Done()
 	conn := zof.NewConn(raw)
+	// Every southbound connection feeds the same fleet-wide wire
+	// counters (zof.conn.* in the registry).
+	conn.SetStats(&c.connStats)
 	sc, err := handshake(conn, c.cfg.HandshakeTimeout)
 	if err != nil {
 		c.cfg.Logf("handshake with %v failed: %v", raw.RemoteAddr(), err)
@@ -518,28 +560,39 @@ func (c *Controller) post(ev Event) {
 		return
 	default:
 	}
+	qe := queuedEvent{ev: ev}
+	// One atomic load with tracing off; a timestamp only for events
+	// that sample in.
+	if c.rec.Sample() {
+		qe.traced = true
+		qe.enq = time.Now().UnixNano()
+	}
 	select {
-	case c.shards[shardFor(eventKey(ev), len(c.shards))] <- ev:
+	case c.shards[shardFor(eventKey(ev), len(c.shards))] <- qe:
 	default:
 		c.stats.Dropped.Inc()
 		c.cfg.Logf("dispatch shard full; dropping %T", ev)
 	}
 }
 
-func (c *Controller) dispatchLoop(events <-chan Event) {
+func (c *Controller) dispatchLoop(events <-chan queuedEvent) {
 	defer c.loopWG.Done()
 	for {
 		select {
 		case <-c.quit:
 			return
-		case ev := <-events:
+		case qe := <-events:
 			c.stats.Dispatched.Inc()
-			c.dispatch(ev)
+			if qe.traced {
+				qe.deq = time.Now().UnixNano()
+			}
+			c.dispatch(qe)
 		}
 	}
 }
 
-func (c *Controller) dispatch(ev Event) {
+func (c *Controller) dispatch(qe queuedEvent) {
+	ev := qe.ev
 	defer func() {
 		if r := recover(); r != nil {
 			log.Printf("controller: app panic on %T: %v", ev, r)
@@ -550,6 +603,22 @@ func (c *Controller) dispatch(ev Event) {
 	if fs, ok := ev.(flowSync); ok {
 		close(fs.done)
 		return
+	}
+	var spans []obs.AppSpan
+	if qe.traced {
+		// Registered before the work so the event is recorded however
+		// dispatch exits — consumed packet-in, discovery short-circuit,
+		// even an app panic (the recover defer runs after this one).
+		defer func() {
+			c.rec.Record(obs.TraceEvent{
+				Kind:     eventKindName(ev),
+				DPID:     eventKey(ev),
+				Enqueued: time.Unix(0, qe.enq),
+				QueueNS:  qe.deq - qe.enq,
+				Apps:     spans,
+				TotalNS:  time.Now().UnixNano() - qe.enq,
+			})
+		}()
 	}
 	// Built-in pre-processing: discovery consumes LLDP; host learning
 	// runs before apps so they can query the NIB.
@@ -563,42 +632,22 @@ func (c *Controller) dispatch(ev Event) {
 		c.disc.handlePortStatus(ps)
 	}
 
-	for _, app := range apps {
-		switch e := ev.(type) {
-		case SwitchUp:
-			if h, ok := app.(SwitchHandler); ok {
-				h.SwitchUp(c, e)
+	if !qe.traced {
+		for _, ae := range apps {
+			if c.invokeApp(ae.app, ev) {
+				return
 			}
-		case SwitchDown:
-			if h, ok := app.(SwitchHandler); ok {
-				h.SwitchDown(c, e)
-			}
-		case PacketInEvent:
-			if h, ok := app.(PacketInHandler); ok {
-				if h.PacketIn(c, e) {
-					return
-				}
-			}
-		case FlowRemovedEvent:
-			if h, ok := app.(FlowRemovedHandler); ok {
-				h.FlowRemoved(c, e)
-			}
-		case PortStatusEvent:
-			if h, ok := app.(PortStatusHandler); ok {
-				h.PortStatus(c, e)
-			}
-		case LinkUp:
-			if h, ok := app.(LinkHandler); ok {
-				h.LinkUp(c, e)
-			}
-		case LinkDown:
-			if h, ok := app.(LinkHandler); ok {
-				h.LinkDown(c, e)
-			}
-		case HostLearned:
-			if h, ok := app.(HostHandler); ok {
-				h.HostLearned(c, e)
-			}
+		}
+		return
+	}
+	for _, ae := range apps {
+		t0 := time.Now()
+		consumed := c.invokeApp(ae.app, ev)
+		d := time.Since(t0)
+		ae.lat.Observe(d)
+		spans = append(spans, obs.AppSpan{App: ae.app.Name(), DurNS: int64(d)})
+		if consumed {
+			return
 		}
 	}
 }
@@ -645,6 +694,8 @@ func (c *Controller) Barrier(timeout time.Duration) error {
 
 // AsyncErrors returns the number of unsolicited Error replies seen
 // outside any request or transaction.
+//
+// Deprecated: read controller.async_errors from Metrics() instead.
 func (c *Controller) AsyncErrors() uint64 { return c.asyncErrors.Value() }
 
 // WaitForSwitches blocks until n datapaths are connected or the timeout

@@ -140,7 +140,8 @@ func TestUseWhileDispatching(t *testing.T) {
 	close(stop)
 	wg.Wait()
 
-	waitUntil(t, 2*time.Second, func() bool { return ctl.QueuedEvents() == 0 })
+	queued := func() int64 { v, _ := ctl.Metrics().Value("controller.dispatch.queued"); return v }
+	waitUntil(t, 2*time.Second, func() bool { return queued() == 0 })
 	if first.n.Load() == 0 {
 		t.Fatal("no events dispatched")
 	}
@@ -165,13 +166,14 @@ func TestOverflowDropsAreCounted(t *testing.T) {
 	for i := 0; i < 500; i++ {
 		ctl.InjectEvent(PacketInEvent{DPID: 1}) // one DPID: one shard, FIFO
 	}
-	if d := ctl.Stats().Dropped.Value(); d == 0 {
+	mv := func(name string) int64 { v, _ := ctl.Metrics().Value(name); return v }
+	if d := mv("controller.dispatch.dropped"); d == 0 {
 		t.Fatal("overflow not counted")
 	}
 	close(slow.release)
-	waitUntil(t, 2*time.Second, func() bool { return ctl.QueuedEvents() == 0 })
-	disp := ctl.Stats().Dispatched.Value()
-	drop := ctl.Stats().Dropped.Value()
+	waitUntil(t, 2*time.Second, func() bool { return mv("controller.dispatch.queued") == 0 })
+	disp := mv("controller.dispatch.dispatched")
+	drop := mv("controller.dispatch.dropped")
 	if disp+drop < 500 {
 		t.Errorf("dispatched %d + dropped %d < 500 posted", disp, drop)
 	}
@@ -198,7 +200,8 @@ func BenchmarkControllerPacketIn(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				ctl.InjectEvent(evs[i%len(evs)])
 			}
-			for app.n.Load()+ctl.Stats().Dropped.Value() < uint64(b.N) {
+			dropped := ctl.Metrics().Counter("controller.dispatch.dropped")
+			for app.n.Load()+dropped.Value() < uint64(b.N) {
 				time.Sleep(100 * time.Microsecond)
 			}
 		})

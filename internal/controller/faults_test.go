@@ -243,11 +243,12 @@ func TestLivenessEviction(t *testing.T) {
 		_, d := rec.counts()
 		return d == 1
 	})
-	if det := ctl.LastDetection(); det <= 0 || det > time.Duration(misses)*interval {
+	detNS, _ := ctl.Metrics().Value("controller.liveness.last_detection_ns")
+	if det := time.Duration(detNS); det <= 0 || det > time.Duration(misses)*interval {
 		t.Errorf("detection latency %v outside (0, %v]", det, time.Duration(misses)*interval)
 	}
-	if ctl.Liveness().Evictions.Value() != 1 {
-		t.Errorf("evictions = %d, want 1", ctl.Liveness().Evictions.Value())
+	if ev, _ := ctl.Metrics().Value("controller.liveness.evictions"); ev != 1 {
+		t.Errorf("evictions = %d, want 1", ev)
 	}
 	select {
 	case err := <-statsErr:
@@ -372,10 +373,10 @@ func TestReconnectReconciliation(t *testing.T) {
 		}
 		return true
 	})
-	if got := ctl.Liveness().StaleFlows.Value(); got < 1 {
+	if got, _ := ctl.Metrics().Value("controller.liveness.stale_flows"); got < 1 {
 		t.Errorf("stale flows flushed = %d, want >= 1", got)
 	}
-	if ctl.Liveness().Reconciles.Value() < 1 {
+	if rec, _ := ctl.Metrics().Value("controller.liveness.reconciles"); rec < 1 {
 		t.Error("no reconciliation pass completed")
 	}
 }

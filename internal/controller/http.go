@@ -1,28 +1,43 @@
 package controller
 
 import (
+	"encoding/base64"
 	"encoding/json"
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"sort"
+	"strconv"
+	"strings"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/zof"
 )
 
-// The read-only northbound REST API: the JSON views operators and
-// external systems consume. Endpoints:
+// The northbound REST API: the JSON views operators and external
+// systems consume. Every endpoint lives under /v1, errors are always a
+// JSON envelope {"error": "..."} with the right status (404 for
+// unknown paths and datapaths, 405 with an Allow header for known
+// paths with the wrong method), and routing goes through one route
+// table instead of per-handler path parsing. Endpoints:
 //
-//	GET /v1/switches          connected datapaths and their ports
-//	GET /v1/links             discovered inter-switch links
-//	GET /v1/hosts             learned host locations
-//	GET /v1/flows/{dpid}      live flow entries of one datapath
-//	GET /v1/stats/ports/{dpid} port counters of one datapath
-//	GET /v1/health            liveness
+//	GET  /v1/switches            connected datapaths and their ports
+//	GET  /v1/links               discovered inter-switch links
+//	GET  /v1/hosts               learned host locations
+//	GET  /v1/flows/{dpid}        live flow entries of one datapath
+//	GET  /v1/stats/ports/{dpid}  port counters of one datapath
+//	GET  /v1/health              liveness
+//	GET  /v1/metrics             the full metric registry, one snapshot
+//	GET  /v1/trace/events        last-N control-loop trace events
+//	GET  /v1/trace/mode          current trace mode and sampling
+//	POST /v1/trace/mode          switch tracing off/sampled/full
+//	POST /v1/trace/packet/{dpid} explain-mode pipeline trace of a frame
 //
-// Mutations stay with the apps; the REST surface is deliberately
-// read-only in this prototype (the keynote's "visibility first").
+// Network mutations stay with the apps; beyond the trace-mode switch,
+// the REST surface is read-only in this prototype (the keynote's
+// "visibility first").
 
 type switchJSON struct {
 	DPID         uint64     `json:"dpid"`
@@ -65,14 +80,90 @@ type flowJSON struct {
 	HardTimeout uint16   `json:"hardTimeoutSec,omitempty"`
 }
 
+// route is one row of the API's route table: a method, a /-split
+// pattern whose {name} segments capture path parameters, and the
+// handler receiving them.
+type route struct {
+	method  string
+	pattern string
+	handler func(w http.ResponseWriter, r *http.Request, p map[string]string)
+}
+
+// api is the controller's northbound handler: a route table plus the
+// uniform error envelope.
+type api struct {
+	routes []route
+}
+
+func (a *api) handle(method, pattern string, h func(http.ResponseWriter, *http.Request, map[string]string)) {
+	a.routes = append(a.routes, route{method: method, pattern: pattern, handler: h})
+}
+
+// match tests path against pattern, filling params from {name}
+// segments.
+func matchPattern(pattern, path string) (map[string]string, bool) {
+	ps := strings.Split(pattern, "/")
+	xs := strings.Split(path, "/")
+	if len(ps) != len(xs) {
+		return nil, false
+	}
+	var params map[string]string
+	for i, seg := range ps {
+		if strings.HasPrefix(seg, "{") && strings.HasSuffix(seg, "}") {
+			if xs[i] == "" {
+				return nil, false
+			}
+			if params == nil {
+				params = make(map[string]string, 2)
+			}
+			params[seg[1:len(seg)-1]] = xs[i]
+			continue
+		}
+		if seg != xs[i] {
+			return nil, false
+		}
+	}
+	return params, true
+}
+
+// ServeHTTP walks the route table: a path+method hit dispatches; a
+// path hit with the wrong method is 405 with the Allow header; no path
+// hit is 404. All errors share the JSON envelope.
+func (a *api) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	path := strings.TrimSuffix(r.URL.Path, "/")
+	if path == "" {
+		path = "/"
+	}
+	var allowed []string
+	for i := range a.routes {
+		rt := &a.routes[i]
+		params, ok := matchPattern(rt.pattern, path)
+		if !ok {
+			continue
+		}
+		if rt.method != r.Method {
+			allowed = append(allowed, rt.method)
+			continue
+		}
+		rt.handler(w, r, params)
+		return
+	}
+	if len(allowed) > 0 {
+		w.Header().Set("Allow", strings.Join(allowed, ", "))
+		apiError(w, http.StatusMethodNotAllowed, "method %s not allowed", r.Method)
+		return
+	}
+	apiError(w, http.StatusNotFound, "no such resource: %s", path)
+}
+
 // HTTPHandler returns the northbound REST handler; mount it on any
 // http.Server (ServeHTTP starts a server on addr for convenience).
 func (c *Controller) HTTPHandler() http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("GET /v1/health", func(w http.ResponseWriter, r *http.Request) {
+	a := &api{}
+	a.handle("GET", "/v1/health", func(w http.ResponseWriter, r *http.Request, _ map[string]string) {
 		writeJSON(w, map[string]any{"ok": true, "switches": len(c.Switches())})
 	})
-	mux.HandleFunc("GET /v1/switches", func(w http.ResponseWriter, r *http.Request) {
+	a.handle("GET", "/v1/switches", func(w http.ResponseWriter, r *http.Request, _ map[string]string) {
 		var out []switchJSON
 		for _, f := range c.nib.Switches() {
 			sj := switchJSON{DPID: f.DPID, NumTables: f.NumTables, Capabilities: f.Capabilities}
@@ -88,7 +179,7 @@ func (c *Controller) HTTPHandler() http.Handler {
 		sort.Slice(out, func(i, j int) bool { return out[i].DPID < out[j].DPID })
 		writeJSON(w, out)
 	})
-	mux.HandleFunc("GET /v1/links", func(w http.ResponseWriter, r *http.Request) {
+	a.handle("GET", "/v1/links", func(w http.ResponseWriter, r *http.Request, _ map[string]string) {
 		g := c.nib.Graph()
 		var out []linkJSON
 		for _, l := range g.Links() {
@@ -100,7 +191,7 @@ func (c *Controller) HTTPHandler() http.Handler {
 		}
 		writeJSON(w, out)
 	})
-	mux.HandleFunc("GET /v1/hosts", func(w http.ResponseWriter, r *http.Request) {
+	a.handle("GET", "/v1/hosts", func(w http.ResponseWriter, r *http.Request, _ map[string]string) {
 		var out []hostJSON
 		for _, h := range c.nib.Hosts() {
 			hj := hostJSON{MAC: h.MAC.String(), DPID: h.DPID, Port: h.Port}
@@ -112,17 +203,17 @@ func (c *Controller) HTTPHandler() http.Handler {
 		sort.Slice(out, func(i, j int) bool { return out[i].MAC < out[j].MAC })
 		writeJSON(w, out)
 	})
-	mux.HandleFunc("GET /v1/flows/{dpid}", func(w http.ResponseWriter, r *http.Request) {
-		sc, ok := c.switchFromPath(r)
+	a.handle("GET", "/v1/flows/{dpid}", func(w http.ResponseWriter, r *http.Request, p map[string]string) {
+		sc, ok := c.switchFromParams(p)
 		if !ok {
-			http.Error(w, "unknown datapath", http.StatusNotFound)
+			apiError(w, http.StatusNotFound, "unknown datapath %q", p["dpid"])
 			return
 		}
 		rep, err := sc.Stats(&zof.StatsRequest{
 			Kind: zof.StatsFlow, TableID: 0xff, Match: zof.MatchAll(),
 		}, 3*time.Second)
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadGateway)
+			apiError(w, http.StatusBadGateway, "flow stats: %v", err)
 			return
 		}
 		var out []flowJSON
@@ -133,37 +224,136 @@ func (c *Controller) HTTPHandler() http.Handler {
 				Packets: fs.PacketCount, Bytes: fs.ByteCount,
 				IdleTimeout: fs.IdleTimeout, HardTimeout: fs.HardTimeout,
 			}
-			for _, a := range fs.Actions {
-				fj.Actions = append(fj.Actions, a.String())
+			for _, act := range fs.Actions {
+				fj.Actions = append(fj.Actions, act.String())
 			}
 			out = append(out, fj)
 		}
 		writeJSON(w, out)
 	})
-	mux.HandleFunc("GET /v1/stats/ports/{dpid}", func(w http.ResponseWriter, r *http.Request) {
-		sc, ok := c.switchFromPath(r)
+	a.handle("GET", "/v1/stats/ports/{dpid}", func(w http.ResponseWriter, r *http.Request, p map[string]string) {
+		sc, ok := c.switchFromParams(p)
 		if !ok {
-			http.Error(w, "unknown datapath", http.StatusNotFound)
+			apiError(w, http.StatusNotFound, "unknown datapath %q", p["dpid"])
 			return
 		}
 		rep, err := sc.Stats(&zof.StatsRequest{
 			Kind: zof.StatsPort, PortNo: zof.PortNone,
 		}, 3*time.Second)
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusBadGateway)
+			apiError(w, http.StatusBadGateway, "port stats: %v", err)
 			return
 		}
 		writeJSON(w, rep.Ports)
 	})
-	return mux
+	a.handle("GET", "/v1/metrics", func(w http.ResponseWriter, r *http.Request, _ map[string]string) {
+		writeJSON(w, c.reg)
+	})
+	a.handle("GET", "/v1/trace/events", func(w http.ResponseWriter, r *http.Request, _ map[string]string) {
+		n := 0
+		if q := r.URL.Query().Get("n"); q != "" {
+			v, err := strconv.Atoi(q)
+			if err != nil || v < 0 {
+				apiError(w, http.StatusBadRequest, "bad n %q", q)
+				return
+			}
+			n = v
+		}
+		writeJSON(w, map[string]any{
+			"mode":     c.rec.Mode().String(),
+			"recorded": c.rec.Recorded(),
+			"capacity": c.rec.Capacity(),
+			"events":   c.rec.Events(n),
+		})
+	})
+	a.handle("GET", "/v1/trace/mode", func(w http.ResponseWriter, r *http.Request, _ map[string]string) {
+		writeJSON(w, map[string]any{
+			"mode": c.rec.Mode().String(), "sample_every": c.rec.SampleEvery(),
+		})
+	})
+	a.handle("POST", "/v1/trace/mode", func(w http.ResponseWriter, r *http.Request, _ map[string]string) {
+		var req struct {
+			Mode        string `json:"mode"`
+			SampleEvery int    `json:"sample_every"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			apiError(w, http.StatusBadRequest, "bad body: %v", err)
+			return
+		}
+		mode, ok := obs.ParseTraceMode(req.Mode)
+		if !ok {
+			apiError(w, http.StatusBadRequest, "bad mode %q (off, sampled, full)", req.Mode)
+			return
+		}
+		if req.SampleEvery > 0 {
+			c.rec.SetSampleEvery(req.SampleEvery)
+		}
+		c.rec.SetMode(mode)
+		writeJSON(w, map[string]any{
+			"mode": c.rec.Mode().String(), "sample_every": c.rec.SampleEvery(),
+		})
+	})
+	a.handle("POST", "/v1/trace/packet/{dpid}", func(w http.ResponseWriter, r *http.Request, p map[string]string) {
+		dpid, err := strconv.ParseUint(p["dpid"], 10, 64)
+		if err != nil {
+			apiError(w, http.StatusBadRequest, "bad dpid %q", p["dpid"])
+			return
+		}
+		var req struct {
+			InPort uint32 `json:"in_port"`
+			Frame  string `json:"frame"` // base64 of the raw Ethernet frame
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			apiError(w, http.StatusBadRequest, "bad body: %v", err)
+			return
+		}
+		frame, err := base64.StdEncoding.DecodeString(req.Frame)
+		if err != nil {
+			apiError(w, http.StatusBadRequest, "bad frame base64: %v", err)
+			return
+		}
+		tr, terr, ok := c.TracePacket(dpid, req.InPort, frame)
+		if !ok {
+			if _, connected := c.Switch(dpid); !connected {
+				apiError(w, http.StatusNotFound, "unknown datapath %d", dpid)
+				return
+			}
+			// Connected but remote: tracing runs on the datapath host,
+			// and this one registered no tracer.
+			apiError(w, http.StatusNotImplemented, "no pipeline tracer for datapath %d", dpid)
+			return
+		}
+		if terr != nil {
+			apiError(w, http.StatusInternalServerError, "trace: %v", terr)
+			return
+		}
+		writeJSON(w, tr)
+	})
+	return a
 }
 
-func (c *Controller) switchFromPath(r *http.Request) (*SwitchConn, bool) {
-	var dpid uint64
-	if _, err := fmt.Sscanf(r.PathValue("dpid"), "%d", &dpid); err != nil {
+func (c *Controller) switchFromParams(p map[string]string) (*SwitchConn, bool) {
+	dpid, err := strconv.ParseUint(p["dpid"], 10, 64)
+	if err != nil {
 		return nil, false
 	}
 	return c.Switch(dpid)
+}
+
+// DebugHandler returns the opt-in debug mux: pprof profiling plus the
+// metric snapshot, for a loopback-only listener (it exposes heap and
+// goroutine internals — never mount it on the operator API).
+func (c *Controller) DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, c.reg)
+	})
+	return mux
 }
 
 // ServeHTTP starts the northbound REST server on addr, returning the
@@ -176,6 +366,24 @@ func (c *Controller) ServeHTTP(addr string) (string, func() error, error) {
 	srv := &http.Server{Handler: c.HTTPHandler()}
 	go func() { _ = srv.Serve(ln) }()
 	return ln.Addr().String(), srv.Close, nil
+}
+
+// ServeDebug starts the debug server (pprof + metrics) on addr.
+func (c *Controller) ServeDebug(addr string) (string, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("debug listen: %w", err)
+	}
+	srv := &http.Server{Handler: c.DebugHandler()}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), srv.Close, nil
+}
+
+// apiError writes the uniform JSON error envelope.
+func apiError(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

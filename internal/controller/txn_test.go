@@ -97,10 +97,10 @@ func TestTxnCommitMultiSwitch(t *testing.T) {
 			t.Errorf("switch %d flows = %d, want 3", sw.DPID(), n)
 		}
 	}
-	if got := ctl.Txns().Commits.Value(); got != 1 {
+	if got, _ := ctl.Metrics().Value("controller.txn.commits"); got != 1 {
 		t.Errorf("commits = %d", got)
 	}
-	if ctl.Txns().Latency.Count() != 1 {
+	if ctl.Metrics().Histogram("controller.txn.latency").Count() != 1 {
 		t.Error("latency not observed")
 	}
 	if len(ctl.IntendedFlows(1)) != 3 || len(ctl.IntendedFlows(2)) != 3 {
@@ -168,8 +168,10 @@ func TestTxnTableFullRollsBack(t *testing.T) {
 	if got := len(ctl.IntendedFlows(1)); got != storeBefore {
 		t.Errorf("store grew to %d on a failed commit", got)
 	}
-	if ctl.Txns().Aborts.Value() != 1 || ctl.Txns().Rollbacks.Value() != 1 {
-		t.Errorf("aborts=%d rollbacks=%d", ctl.Txns().Aborts.Value(), ctl.Txns().Rollbacks.Value())
+	aborts, _ := ctl.Metrics().Value("controller.txn.aborts")
+	rollbacks, _ := ctl.Metrics().Value("controller.txn.rollbacks")
+	if aborts != 1 || rollbacks != 1 {
+		t.Errorf("aborts=%d rollbacks=%d", aborts, rollbacks)
 	}
 	if sws[0].FlowCount() != 3 || sws[1].FlowCount() != 3 {
 		t.Errorf("flow counts %d/%d, want 3/3", sws[0].FlowCount(), sws[1].FlowCount())
@@ -290,8 +292,8 @@ func TestTxnAsyncErrorHandler(t *testing.T) {
 	if e.DPID != 1 || e.Code != zof.ErrCodeBadGroup || e.XID == 0 {
 		t.Errorf("async error = %+v", *e)
 	}
-	if ctl.AsyncErrors() != 1 {
-		t.Errorf("counter = %d", ctl.AsyncErrors())
+	if n, _ := ctl.Metrics().Value("controller.async_errors"); n != 1 {
+		t.Errorf("counter = %d", n)
 	}
 	// The rejected install stays in the store as intent; the switch
 	// never accepted it.
@@ -349,7 +351,7 @@ func TestTxnConcurrentCommits(t *testing.T) {
 			t.Fatalf("goroutine %d: %v", g, err)
 		}
 	}
-	if got := ctl.Txns().Commits.Value(); got != goroutines*commits {
+	if got, _ := ctl.Metrics().Value("controller.txn.commits"); got != goroutines*commits {
 		t.Errorf("commits = %d, want %d", got, goroutines*commits)
 	}
 	// Every switch holds exactly the distinct matches targeted at it.

@@ -64,6 +64,13 @@ func Start(opts Options) (*Network, error) {
 			return nil, fmt.Errorf("connecting switch %d: %w", node, err)
 		}
 		n.datapaths = append(n.datapaths, dp)
+		// Emulated datapaths run in-process, so their counters can join
+		// the controller's registry and their pipelines answer
+		// explain-mode trace requests (POST /v1/trace/packet/{dpid}).
+		sw.RegisterMetrics(ctl.Metrics(), fmt.Sprintf("dataplane.%d", sw.DPID()))
+		ctl.RegisterTracer(sw.DPID(), func(inPort uint32, frame []byte) (any, error) {
+			return sw.Trace(inPort, frame), nil
+		})
 	}
 	if err := ctl.WaitForSwitches(opts.Graph.NumNodes(), opts.ConnectTimeout); err != nil {
 		n.Stop()

@@ -45,6 +45,12 @@ type exec struct {
 	pl    *pipeline
 	frame packet.Frame
 	owned *[]byte // pooled buffer this exec owns, or nil while borrowing
+
+	// trace, when non-nil, puts the execution in explain mode: matches,
+	// rewrites and group selection run exactly as live, but nothing
+	// leaves the switch — outputs and packet-ins are recorded into the
+	// trace instead of delivered, and no port or buffer state changes.
+	trace *PacketTrace
 }
 
 var execPool = sync.Pool{New: func() any { return new(exec) }}
@@ -63,7 +69,7 @@ func (x *exec) release() {
 		bufPut(x.owned)
 		x.owned = nil
 	}
-	x.sw, x.pl = nil, nil
+	x.sw, x.pl, x.trace = nil, nil, nil
 	execPool.Put(x)
 }
 
@@ -121,38 +127,48 @@ func (x *exec) apply(inPort uint32, data []byte, acts []zof.Action, depth int) (
 			case zof.PortFlood:
 				for _, p := range x.pl.portList {
 					if p.no != inPort && p.Up() {
-						p.send(data)
+						x.deliver(p, data, "flood")
 					}
 				}
 			case zof.PortAll:
 				for _, p := range x.pl.portList {
 					if p.Up() {
-						p.send(data)
+						x.deliver(p, data, "all")
 					}
 				}
 			case zof.PortInPort:
 				if p := x.pl.ports[inPort]; p != nil {
-					p.send(data)
+					x.deliver(p, data, "in_port")
 				}
 			default:
 				if p := x.pl.ports[a.Port]; p != nil {
-					p.send(data)
+					x.deliver(p, data, "port")
+				} else if x.trace != nil {
+					x.trace.Outputs = append(x.trace.Outputs,
+						TraceOutput{Port: a.Port, Kind: "port", Missing: true})
 				}
 			}
 		case zof.ActGroup:
 			g := x.pl.groups[a.Port]
 			if g == nil {
+				if x.trace != nil {
+					x.trace.Groups = append(x.trace.Groups, TraceGroup{ID: a.Port, Missing: true})
+				}
 				continue
 			}
 			buckets, err := g.pick(selectHash(&x.frame), x.portUp)
 			if err != nil {
 				continue
 			}
+			if x.trace != nil {
+				x.trace.noteGroup(g, buckets)
+			}
 			for bi := range buckets {
 				// Each bucket works on its own pooled copy and nested
 				// exec so rewrites do not leak between buckets or back
 				// into this execution's frame.
 				bx := getExec(x.sw, x.pl)
+				bx.trace = x.trace
 				bp := bufGet(len(data))
 				copy(*bp, data)
 				bx.owned = bp
@@ -166,6 +182,17 @@ func (x *exec) apply(inPort uint32, data []byte, acts []zof.Action, depth int) (
 		}
 	}
 	return data, resubmit
+}
+
+// deliver transmits data on p — or, in explain mode, records the
+// would-be transmission without touching the port.
+func (x *exec) deliver(p *Port, data []byte, kind string) {
+	if x.trace != nil {
+		x.trace.Outputs = append(x.trace.Outputs,
+			TraceOutput{Port: p.no, Kind: kind, Down: !p.Up()})
+		return
+	}
+	p.send(data)
 }
 
 // portUp reports port liveness for fast-failover group selection,
@@ -187,6 +214,13 @@ func (x *exec) miss(inPort uint32, data []byte, tableID uint8) {
 // carried bytes are a fresh copy — the message outlives this
 // execution's buffers.
 func (x *exec) packetIn(inPort uint32, data []byte, tableID, reason uint8, cookie uint64, maxLen int) {
+	if x.trace != nil {
+		// Explain mode: record the decision; no buffer is parked, no
+		// sink notified, no counter ticked.
+		x.trace.PacketIns = append(x.trace.PacketIns,
+			TracePacketIn{Table: tableID, Reason: reasonName(reason)})
+		return
+	}
 	s := x.sw
 	id := s.buffers.put(inPort, data)
 	carry := data

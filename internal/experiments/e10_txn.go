@@ -244,8 +244,9 @@ func E10Transactions(cfg E10Config) (*Table, *E10Result, error) {
 			return nil, nil, fmt.Errorf("latency txn %d: %w", t, err)
 		}
 	}
-	lat := ctl.Txns().Latency
-	res.TxnsCommitted = ctl.Txns().Commits.Value()
+	lat := ctl.Metrics().Histogram("controller.txn.latency")
+	commits, _ := ctl.Metrics().Value("controller.txn.commits")
+	res.TxnsCommitted = uint64(commits)
 	res.CommitP50MS = ms(lat.Quantile(0.50))
 	res.CommitP95MS = ms(lat.Quantile(0.95))
 	res.CommitMeanMS = ms(lat.Mean())
@@ -398,11 +399,17 @@ func E10Transactions(cfg E10Config) (*Table, *E10Result, error) {
 
 	// Phase E — quiescence: with tables converged, further audit passes
 	// must repair nothing.
-	aud := ctl.Audits()
-	base := aud.Missing.Value() + aud.Mismatched.Value() + aud.Alien.Value()
+	mv := func(name string) uint64 {
+		v, _ := ctl.Metrics().Value(name)
+		return uint64(v)
+	}
+	repairs := func() uint64 {
+		return mv("controller.audit.missing") + mv("controller.audit.mismatched") + mv("controller.audit.alien")
+	}
+	base := repairs()
 	time.Sleep(4 * cfg.AuditInterval)
-	res.QuiescentRepairs = aud.Missing.Value() + aud.Mismatched.Value() + aud.Alien.Value() - base
-	res.Audits = aud.Audits.Value()
+	res.QuiescentRepairs = repairs() - base
+	res.Audits = mv("controller.audit.audits")
 
 	tbl := &Table{
 		ID:     "E10",

@@ -259,7 +259,8 @@ func e9Point(pi time.Duration, misses int, backoff time.Duration, rules int) (E9
 		return pt, fmt.Errorf("liveness eviction not observed")
 	}
 	pt.DetectWallMS = ms(time.Since(t0))
-	pt.DetectMS = ms(ctl.LastDetection())
+	det, _ := ctl.Metrics().Value("controller.liveness.last_detection_ns")
+	pt.DetectMS = ms(time.Duration(det))
 
 	// While partitioned, retire a quarter of the rules. The switch still
 	// holds them; only post-reconnect reconciliation can flush them.
@@ -288,7 +289,8 @@ func e9Point(pi time.Duration, misses int, backoff time.Duration, rules int) (E9
 		return pt, fmt.Errorf("flow state did not converge after flap")
 	}
 	pt.FlapConvergeMS = ms(flap)
-	pt.StaleFlushed = ctl.Liveness().StaleFlows.Value()
+	stale, _ := ctl.Metrics().Value("controller.liveness.stale_flows")
+	pt.StaleFlushed = uint64(stale)
 
 	// Phase 3 — crash-restart: kill the session and the switch, bring up
 	// a new datapath with the same DPID and an empty table, and measure

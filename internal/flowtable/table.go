@@ -336,6 +336,19 @@ func (t *Table) Lookup(f *packet.Frame, inPort uint32, bytes int, now time.Time)
 	return nil
 }
 
+// Peek returns the highest-priority entry matching the frame on inPort
+// without touching any counter — Lookup's decision, none of its side
+// effects. The explain-mode pipeline tracer (dataplane.Switch.Trace)
+// uses it so tracing a packet never perturbs flow or table statistics.
+func (t *Table) Peek(f *packet.Frame, inPort uint32) *Entry {
+	for _, e := range t.view.Load().entries {
+		if e.Match.MatchesFrame(f, inPort) {
+			return e
+		}
+	}
+	return nil
+}
+
 // Sweep removes all entries expired at now and returns them paired with
 // their FlowRemoved reason.
 func (t *Table) Sweep(now time.Time) []Removed {

@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceMode selects how much of the control loop the flight recorder
+// sees.
+type TraceMode int32
+
+// Recorder modes: off costs one atomic load per event; sampled stamps
+// every Nth event (SetSampleEvery); full stamps them all.
+const (
+	TraceOff TraceMode = iota
+	TraceSampled
+	TraceFull
+)
+
+// String names the mode for the API.
+func (m TraceMode) String() string {
+	switch m {
+	case TraceOff:
+		return "off"
+	case TraceSampled:
+		return "sampled"
+	case TraceFull:
+		return "full"
+	}
+	return "unknown"
+}
+
+// ParseTraceMode maps the API's mode names back to modes.
+func ParseTraceMode(s string) (TraceMode, bool) {
+	switch s {
+	case "off":
+		return TraceOff, true
+	case "sampled":
+		return TraceSampled, true
+	case "full":
+		return TraceFull, true
+	}
+	return TraceOff, false
+}
+
+// AppSpan is one app handler's share of a traced event.
+type AppSpan struct {
+	App   string `json:"app"`
+	DurNS int64  `json:"dur_ns"`
+}
+
+// TraceEvent is one control-loop event's lifecycle: received/posted at
+// Enqueued, waited QueueNS in its dispatch shard, ran through the app
+// chain (per-handler spans), and completed after TotalNS.
+type TraceEvent struct {
+	Seq      uint64    `json:"seq"`
+	Kind     string    `json:"kind"`
+	DPID     uint64    `json:"dpid"`
+	Enqueued time.Time `json:"enqueued"`
+	QueueNS  int64     `json:"queue_ns"`
+	Apps     []AppSpan `json:"apps,omitempty"`
+	TotalNS  int64     `json:"total_ns"`
+}
+
+// FlightRecorder is the control loop's last-N trace log: a fixed ring
+// buffer of TraceEvents plus the sampling decision the event path
+// consults. Sample is the hot-path call — in TraceOff it is a single
+// atomic load; Record only runs for events that sampled in.
+type FlightRecorder struct {
+	mode        atomic.Int32
+	sampleEvery atomic.Int64
+	ticks       atomic.Uint64 // sampling decimation counter
+
+	mu   sync.Mutex
+	ring []TraceEvent
+	next uint64 // total events recorded; ring index = next % len(ring)
+}
+
+// DefaultSampleEvery is the sampled-mode decimation: one traced event
+// per this many.
+const DefaultSampleEvery = 64
+
+// NewFlightRecorder returns a recorder holding the last capacity
+// events (0 means 1024), starting in TraceOff.
+func NewFlightRecorder(capacity int) *FlightRecorder {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	r := &FlightRecorder{ring: make([]TraceEvent, capacity)}
+	r.sampleEvery.Store(DefaultSampleEvery)
+	return r
+}
+
+// SetMode switches tracing off/sampled/full at runtime.
+func (r *FlightRecorder) SetMode(m TraceMode) { r.mode.Store(int32(m)) }
+
+// Mode reads the current mode.
+func (r *FlightRecorder) Mode() TraceMode { return TraceMode(r.mode.Load()) }
+
+// SetSampleEvery sets sampled-mode decimation to one event per n
+// (n < 1 restores the default).
+func (r *FlightRecorder) SetSampleEvery(n int) {
+	if n < 1 {
+		n = DefaultSampleEvery
+	}
+	r.sampleEvery.Store(int64(n))
+}
+
+// SampleEvery reads the sampled-mode decimation.
+func (r *FlightRecorder) SampleEvery() int { return int(r.sampleEvery.Load()) }
+
+// Sample reports whether the next event should be traced. The event
+// path calls this once per event at enqueue time.
+func (r *FlightRecorder) Sample() bool {
+	switch TraceMode(r.mode.Load()) {
+	case TraceOff:
+		return false
+	case TraceFull:
+		return true
+	default:
+		return r.ticks.Add(1)%uint64(r.sampleEvery.Load()) == 0
+	}
+}
+
+// Record appends ev to the ring, assigning its sequence number. The
+// oldest event is overwritten once the ring is full.
+func (r *FlightRecorder) Record(ev TraceEvent) {
+	r.mu.Lock()
+	ev.Seq = r.next
+	r.ring[r.next%uint64(len(r.ring))] = ev
+	r.next++
+	r.mu.Unlock()
+}
+
+// Recorded returns the total number of events ever recorded (not the
+// ring occupancy).
+func (r *FlightRecorder) Recorded() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.next
+}
+
+// Capacity returns the ring size.
+func (r *FlightRecorder) Capacity() int { return len(r.ring) }
+
+// Events returns the most recent n traced events in recording order
+// (oldest of the n first). n <= 0 or n larger than the retained window
+// returns everything still in the ring.
+func (r *FlightRecorder) Events(n int) []TraceEvent {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	have := r.next
+	if have > uint64(len(r.ring)) {
+		have = uint64(len(r.ring))
+	}
+	if n <= 0 || uint64(n) > have {
+		n = int(have)
+	}
+	out := make([]TraceEvent, n)
+	for i := 0; i < n; i++ {
+		out[i] = r.ring[(r.next-uint64(n)+uint64(i))%uint64(len(r.ring))]
+	}
+	return out
+}

@@ -9,11 +9,31 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/metrics"
 )
 
 // closeFlushWindow bounds the best-effort flush of coalesced writes
 // during Close so a dead peer cannot stall teardown.
 const closeFlushWindow = 250 * time.Millisecond
+
+// ConnStats are wire-level counters a Conn records into when one is
+// attached with SetStats. One ConnStats may be shared by any number of
+// connections (the controller aggregates its whole southbound fleet
+// into one), and totals survive individual connections closing — the
+// counters are lock-free atomics.
+type ConnStats struct {
+	// TxMsgs and TxBytes count messages and frame bytes buffered for
+	// transmission.
+	TxMsgs  metrics.Counter
+	TxBytes metrics.Counter
+	// RxMsgs and RxBytes count messages and frame bytes received.
+	RxMsgs  metrics.Counter
+	RxBytes metrics.Counter
+	// Flushes counts write-buffer flushes — with coalescing enabled,
+	// TxMsgs/Flushes is the achieved batching factor.
+	Flushes metrics.Counter
+}
 
 // Conn frames zof messages over a byte stream. One goroutine may call
 // Receive while any number call Send; writes are serialized internally.
@@ -41,6 +61,10 @@ type Conn struct {
 	scratch []byte // per-conn encode buffer (guarded by wmu)
 	pending int    // messages buffered but not yet flushed (guarded by wmu)
 
+	// stats, when non-nil, receives wire-level accounting; immutable
+	// after SetStats (set before concurrent use).
+	stats *ConnStats
+
 	// Coalescing state; immutable after SetAutoFlush.
 	autoFlush  bool
 	flushDelay time.Duration
@@ -57,6 +81,10 @@ func NewConn(raw net.Conn) *Conn {
 		bw:  bufio.NewWriterSize(raw, 64<<10),
 	}
 }
+
+// SetStats attaches wire-level counters; st may be shared across
+// connections. Call before the connection is used concurrently.
+func (c *Conn) SetStats(st *ConnStats) { c.stats = st }
 
 // SetAutoFlush switches the connection to coalesced writes: sends
 // buffer their frames and a flusher goroutine issues the flush as soon
@@ -212,6 +240,10 @@ func (c *Conn) writeLocked(msg Message, xid uint32) error {
 		return c.fail(err)
 	}
 	c.pending++
+	if c.stats != nil {
+		c.stats.TxMsgs.Inc()
+		c.stats.TxBytes.Add(uint64(len(b)))
+	}
 	return nil
 }
 
@@ -231,9 +263,13 @@ func (c *Conn) finishLocked() error {
 }
 
 func (c *Conn) flushLocked() error {
+	flushed := c.pending > 0
 	c.pending = 0
 	if err := c.bw.Flush(); err != nil {
 		return c.fail(err)
+	}
+	if flushed && c.stats != nil {
+		c.stats.Flushes.Inc()
 	}
 	return nil
 }
@@ -262,6 +298,10 @@ func (c *Conn) Receive() (Message, Header, error) {
 	}
 	if err := msg.DecodeBody(body); err != nil {
 		return nil, h, fmt.Errorf("decoding %v: %w", h.Type, err)
+	}
+	if c.stats != nil {
+		c.stats.RxMsgs.Inc()
+		c.stats.RxBytes.Add(uint64(int(h.Length)))
 	}
 	return msg, h, nil
 }
