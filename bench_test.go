@@ -556,6 +556,65 @@ func BenchmarkE7PipelineParallel(b *testing.B) {
 			if el := time.Since(start).Seconds(); el > 0 {
 				b.ReportMetric(float64(b.N)/el, "frames/s")
 			}
+			// Scaling numbers are meaningless without knowing how many
+			// procs backed them (the E7 harness blind spot): record it.
+			b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
+			if runtime.NumCPU() < nw {
+				b.Logf("WARNING: num_cpu=%d < workers=%d; speedup reflects timesharing, not scaling",
+					runtime.NumCPU(), nw)
+			}
 		})
+	}
+}
+
+// --- E12: burst-mode datapath --------------------------------------------------
+
+// BenchmarkE12BurstForwarding measures the batched pipeline walk: one
+// lane, bursts of B frames of one microflow through HandleBurst —
+// one snapshot load, one grouped cache lookup and one aggregated
+// counter update per burst. ns/op is per burst; frames/s is the
+// comparable headline against BenchmarkPipelineForwarding's per-frame
+// path. allocs/op must stay 0: the burst scratch is pooled.
+func BenchmarkE12BurstForwarding(b *testing.B) {
+	for _, burst := range []int{1, 32, 256} {
+		b.Run(fmt.Sprintf("burst-%d", burst), func(b *testing.B) {
+			sw, frames := benchParallelSwitch(b, 1)
+			batch := make([][]byte, burst)
+			for i := range batch {
+				batch[i] = frames[0]
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			start := time.Now()
+			for i := 0; i < b.N; i++ {
+				sw.HandleBurst(1, batch)
+			}
+			if el := time.Since(start).Seconds(); el > 0 {
+				b.ReportMetric(float64(b.N*burst)/el, "frames/s")
+			}
+		})
+	}
+}
+
+// BenchmarkE12RingIngress measures the full run-to-completion path:
+// producer enqueues into a per-port ring, a worker drains bursts and
+// walks them through the pipeline. Single lane, so producer and worker
+// timeshare on a single-core host — frames/s is the end-to-end number.
+func BenchmarkE12RingIngress(b *testing.B) {
+	sw, frames := benchParallelSwitch(b, 1)
+	wp := dataplane.NewWorkerPool(sw, dataplane.WorkerPoolConfig{Workers: 1, Burst: 32})
+	r := wp.AddPort(1)
+	wp.Start()
+	defer wp.Stop()
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		for !r.Enqueue(frames[0]) {
+			runtime.Gosched()
+		}
+	}
+	wp.Flush()
+	if el := time.Since(start).Seconds(); el > 0 {
+		b.ReportMetric(float64(b.N)/el, "frames/s")
 	}
 }

@@ -1,0 +1,44 @@
+//go:build !race
+
+package dataplane
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/zof"
+)
+
+// TestHandleBurstZeroAlloc pins the steady-state allocation count of
+// the batched pipeline walk at zero: pooled bursts, pooled execs,
+// pooled output buffers. Excluded from race builds, where allocation
+// counts reflect instrumentation rather than the datapath.
+func TestHandleBurstZeroAlloc(t *testing.T) {
+	sw := NewSwitch(Config{DropOnMiss: true, Clock: func() time.Time { return testClockBase }})
+	sw.AddPort(1, "", 1000)
+	sw.AddPort(2, "", 1000).SetTx(func([]byte) {})
+	addFlow(t, sw, zof.MatchAll(), 1, zof.Output(2))
+
+	burst := make([][]byte, 32)
+	fr := udpFrame(t, hostA, hostB, 40, 50, "alloc")
+	for i := range burst {
+		burst[i] = fr
+	}
+	// Warm every pool (burst scratch, execs, tx buffers) and the
+	// microflow cache before counting.
+	for i := 0; i < 8; i++ {
+		sw.HandleBurst(1, burst)
+	}
+	if allocs := testing.AllocsPerRun(100, func() {
+		sw.HandleBurst(1, burst)
+	}); allocs != 0 {
+		t.Fatalf("HandleBurst allocates %.1f/op steady state, want 0", allocs)
+	}
+	// The 1-frame wrapper must stay clean too.
+	sw.HandleFrame(1, fr)
+	if allocs := testing.AllocsPerRun(100, func() {
+		sw.HandleFrame(1, fr)
+	}); allocs != 0 {
+		t.Fatalf("HandleFrame allocates %.1f/op steady state, want 0", allocs)
+	}
+}

@@ -1,0 +1,279 @@
+package dataplane
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/packet"
+	"repro/internal/zof"
+)
+
+// burstParityFixture builds a switch with two steering flows (A-traffic
+// to port 2, B-traffic to port 3) over the standard 3-port test switch.
+func burstParityFixture(t *testing.T) (*Switch, map[uint32]*capture) {
+	t.Helper()
+	sw, caps := testSwitch(t, Config{DropOnMiss: true})
+	mA := zof.MatchAll()
+	mA.IPDst = hostB
+	mA.DstPrefix = 32
+	addFlow(t, sw, mA, 10, zof.Output(2))
+	mB := zof.MatchAll()
+	mB.IPDst = hostA
+	mB.DstPrefix = 32
+	addFlow(t, sw, mB, 10, zof.Output(3))
+	return sw, caps
+}
+
+// tableStats pulls table 0's lookup/match counters.
+func tableStats(t *testing.T, sw *Switch) (lookups, matches uint64) {
+	t.Helper()
+	var rep *zof.StatsReply
+	sw.Process(&zof.StatsRequest{Kind: zof.StatsTable}, 1,
+		func(m zof.Message, _ uint32) { rep = m.(*zof.StatsReply) })
+	if rep == nil || len(rep.Tables) == 0 {
+		t.Fatal("no table stats")
+	}
+	return rep.Tables[0].LookupCount, rep.Tables[0].MatchedCount
+}
+
+// TestHandleBurstParity feeds the same mixed traffic — two microflows,
+// a miss and a malformed frame — to one switch per frame and to an
+// identical switch as a single burst, and asserts every observable
+// (deliveries, port stats, table accounting, flow counters) agrees.
+func TestHandleBurstParity(t *testing.T) {
+	toB := udpFrame(t, hostA, hostB, 1000, 2000, "a->b")
+	toA := udpFrame(t, hostB, hostA, 2000, 1000, "b->a")
+	miss := udpFrame(t, hostA, packet.IPv4Addr{10, 9, 9, 9}, 1, 1, "miss")
+	burst := [][]byte{toB, toA, toB, {0xde, 0xad}, miss, toB, toA}
+
+	swFrame, capsFrame := burstParityFixture(t)
+	for _, f := range burst {
+		swFrame.HandleFrame(1, f)
+	}
+	swBurst, capsBurst := burstParityFixture(t)
+	swBurst.HandleBurst(1, burst)
+
+	for port := uint32(1); port <= 3; port++ {
+		if nf, nb := capsFrame[port].count(), capsBurst[port].count(); nf != nb {
+			t.Errorf("port %d: frame path delivered %d, burst path %d", port, nf, nb)
+		}
+	}
+	pF, _ := swFrame.Port(1)
+	pB, _ := swBurst.Port(1)
+	if pF.Stats() != pB.Stats() {
+		t.Errorf("ingress stats diverge: frame=%+v burst=%+v", pF.Stats(), pB.Stats())
+	}
+	lf, mf := tableStats(t, swFrame)
+	lb, mb := tableStats(t, swBurst)
+	if lf != lb || mf != mb {
+		t.Errorf("table accounting diverges: frame=%d/%d burst=%d/%d", lf, mf, lb, mb)
+	}
+	// 6 decodable frames (3 toB, 2 toA, 1 miss): every one is a lookup,
+	// the 5 steered ones are matches, the malformed frame is neither.
+	if lb != 6 || mb != 5 {
+		t.Errorf("burst accounting = %d lookups / %d matches, want 6/5", lb, mb)
+	}
+}
+
+// TestHandleBurstOrdering asserts bursted frames leave in arrival
+// order — the per-port ordering contract the per-frame path gives.
+func TestHandleBurstOrdering(t *testing.T) {
+	sw, caps := testSwitch(t, Config{DropOnMiss: true})
+	addFlow(t, sw, zof.MatchAll(), 1, zof.Output(2))
+	const n = 50
+	burst := make([][]byte, n)
+	for i := range burst {
+		burst[i] = udpFrame(t, hostA, hostB, uint16(100+i), 7, fmt.Sprintf("seq-%03d", i))
+	}
+	sw.HandleBurst(1, burst)
+	if got := caps[2].count(); got != n {
+		t.Fatalf("delivered %d of %d", got, n)
+	}
+	caps[2].mu.Lock()
+	defer caps[2].mu.Unlock()
+	for i, f := range caps[2].frames {
+		if !bytes.Equal(f, burst[i]) {
+			t.Fatalf("frame %d out of order", i)
+		}
+	}
+}
+
+// TestHandleBurstEdgeCases covers the degenerate inputs: empty bursts,
+// unknown ports, bursts where every frame dies on decode.
+func TestHandleBurstEdgeCases(t *testing.T) {
+	sw, caps := testSwitch(t, Config{DropOnMiss: true})
+	addFlow(t, sw, zof.MatchAll(), 1, zof.Output(2))
+	sw.HandleBurst(1, nil)
+	sw.HandleBurst(99, [][]byte{udpFrame(t, hostA, hostB, 1, 2, "x")})
+	sw.HandleBurst(1, [][]byte{{1}, {2, 3}})
+	if caps[2].count() != 0 {
+		t.Fatalf("degenerate bursts forwarded %d frames", caps[2].count())
+	}
+	if l, _ := tableStats(t, sw); l != 0 {
+		t.Fatalf("undecodable frames reached the table: %d lookups", l)
+	}
+	// Down ingress drops the whole burst at the port.
+	sw.SetPortDown(1, true)
+	sw.HandleBurst(1, [][]byte{udpFrame(t, hostA, hostB, 1, 2, "y")})
+	if caps[2].count() != 0 {
+		t.Fatal("down port forwarded")
+	}
+	p, _ := sw.Port(1)
+	if st := p.Stats(); st.RxDropped != 1 {
+		t.Fatalf("rx dropped = %d, want 1", st.RxDropped)
+	}
+}
+
+// TestHandleBurstGroupsShareLookup asserts the amortization contract:
+// a burst of n same-flow frames costs one cache-warmed group and the
+// flow entry's packet counter still advances by exactly n.
+func TestHandleBurstGroupsShareLookup(t *testing.T) {
+	sw, caps := testSwitch(t, Config{DropOnMiss: true})
+	addFlow(t, sw, zof.MatchAll(), 1, zof.Output(2))
+	fr := udpFrame(t, hostA, hostB, 9, 9, "grp")
+	burst := make([][]byte, 37)
+	for i := range burst {
+		burst[i] = fr
+	}
+	sw.HandleBurst(1, burst)
+	sw.HandleBurst(1, burst) // second burst must be a pure cache hit
+	if got := caps[2].count(); got != 74 {
+		t.Fatalf("delivered %d, want 74", got)
+	}
+	l, m := tableStats(t, sw)
+	if l != 74 || m != 74 {
+		t.Fatalf("accounting = %d/%d, want 74/74", l, m)
+	}
+	var rep *zof.StatsReply
+	sw.Process(&zof.StatsRequest{Kind: zof.StatsFlow, TableID: 0xff, Match: zof.MatchAll()},
+		2, func(r zof.Message, _ uint32) { rep = r.(*zof.StatsReply) })
+	if rep.Flows[0].PacketCount != 74 {
+		t.Fatalf("flow packets = %d, want 74", rep.Flows[0].PacketCount)
+	}
+	if hits := sw.cache.Hits(); hits == 0 {
+		t.Fatal("second burst did not hit the microflow cache")
+	}
+}
+
+// TestConcurrentBurstUnderControlChurn is the burst-mode companion of
+// TestConcurrentPipelineUnderControlChurn: HandleBurst from many
+// goroutines races flow mods, group add/delete, port flaps, stats and
+// explain-mode Trace. Under -race this exercises the batched
+// lookup/grouping structures against every control-path interleaving;
+// the assertions keep the exact-accounting invariant — and Trace's
+// zero-footprint contract — intact for bursted traffic.
+func TestConcurrentBurstUnderControlChurn(t *testing.T) {
+	const workers = 8
+	const burstsPerWorker = 40
+	const burstSize = 16
+
+	sw := NewSwitch(Config{DropOnMiss: true, Clock: func() time.Time { return testClockBase }})
+	var rx [workers]atomic.Uint64
+	frames := make([][]byte, workers)
+	for w := 0; w < workers; w++ {
+		in, out := uint32(w+1), uint32(101+w)
+		sw.AddPort(in, "", 1000)
+		idx := w
+		sw.AddPort(out, "", 1000).SetTx(func([]byte) { rx[idx].Add(1) })
+		m := zof.MatchAll()
+		m.Wildcards &^= zof.WInPort
+		m.InPort = in
+		addFlow(t, sw, m, 100, zof.Output(out))
+		src := packet.IPv4Addr{10, 0, byte(w), 1}
+		dst := packet.IPv4Addr{10, 0, byte(w), 2}
+		frames[w] = udpFrame(t, src, dst, uint16(4000+w), 5000, "payload")
+	}
+	sw.AddPort(200, "", 1000)
+
+	stop := make(chan struct{})
+	var aux sync.WaitGroup
+	aux.Add(1)
+	go func() { // control churn, as in the per-frame test
+		defer aux.Done()
+		drop := func(zof.Message, uint32) {}
+		churn := zof.MatchAll()
+		churn.Wildcards &^= zof.WEtherType
+		churn.EtherType = 0x88b5
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			prio := uint16(200 + i%50)
+			sw.Process(&zof.FlowMod{Command: zof.FlowAdd, Match: churn, Priority: prio,
+				BufferID: zof.NoBuffer, Actions: []zof.Action{zof.Output(200)}}, 1, drop)
+			sw.Process(&zof.GroupMod{Command: zof.GroupAdd, GroupID: 7, GroupType: uint8(GroupAll),
+				Buckets: []zof.GroupBucket{{Actions: []zof.Action{zof.Output(200)}}}}, 2, drop)
+			sw.SetPortDown(200, i%2 == 0)
+			sw.Process(&zof.StatsRequest{Kind: zof.StatsFlow, TableID: 0xff, Match: zof.MatchAll()}, 3, drop)
+			sw.Process(&zof.GroupMod{Command: zof.GroupDelete, GroupID: 7}, 4, drop)
+			sw.Process(&zof.FlowMod{Command: zof.FlowDeleteStrict, Match: churn, Priority: prio,
+				BufferID: zof.NoBuffer}, 5, drop)
+		}
+	}()
+	aux.Add(1)
+	go func() { // explain-mode tracer racing the bursts
+		defer aux.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			tr := sw.Trace(1, frames[0])
+			if len(tr.Steps) == 0 {
+				t.Error("trace saw no steps")
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			in := uint32(w + 1)
+			burst := make([][]byte, burstSize)
+			for i := range burst {
+				burst[i] = frames[w]
+			}
+			for i := 0; i < burstsPerWorker; i++ {
+				// Vary the burst size so pooled bursts are reused across
+				// sizes, covering the grouping-table reset path.
+				n := 1 + (i % burstSize)
+				sw.HandleBurst(in, burst[:n])
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	aux.Wait()
+
+	perWorker := uint64(0)
+	for i := 0; i < burstsPerWorker; i++ {
+		perWorker += uint64(1 + i%burstSize)
+	}
+	for w := 0; w < workers; w++ {
+		if got := rx[w].Load(); got != perWorker {
+			t.Errorf("worker %d: delivered %d of %d frames", w, got, perWorker)
+		}
+		p, _ := sw.Port(uint32(w + 1))
+		if st := p.Stats(); st.RxPackets != perWorker {
+			t.Errorf("port %d: rxPackets = %d", w+1, st.RxPackets)
+		}
+	}
+	total := perWorker * workers
+	l, m := tableStats(t, sw)
+	if l != total || m != total {
+		t.Errorf("table stats lookups=%d matches=%d, want %d/%d (trace must not count)", l, m, total, total)
+	}
+	if n := sw.FlowCount(); n != workers {
+		t.Errorf("flow count after churn = %d, want %d", n, workers)
+	}
+}

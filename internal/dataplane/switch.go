@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/flowtable"
+	"repro/internal/metrics"
 	"repro/internal/packet"
 	"repro/internal/zof"
 )
@@ -58,9 +59,10 @@ type Switch struct {
 	nextSink    int
 
 	// Fast-path state.
-	pl      atomic.Pointer[pipeline]
-	cache   *flowtable.MicroCache
-	buffers *packetBuffers
+	pl         atomic.Pointer[pipeline]
+	cache      *flowtable.MicroCache
+	buffers    *packetBuffers
+	burstSizes *metrics.Histogram // frames per HandleBurst call
 
 	// PacketIns counts packets sent to the controller (test aid).
 	PacketIns atomic.Uint64
@@ -80,6 +82,7 @@ func NewSwitch(cfg Config) *Switch {
 	s := &Switch{
 		cfg:         cfg,
 		cache:       flowtable.NewMicroCache(0),
+		burstSizes:  metrics.NewHistogram(),
 		groups:      make(map[uint32]*GroupDesc),
 		ports:       make(map[uint32]*Port),
 		buffers:     newPacketBuffers(cfg.Buffers),
@@ -278,40 +281,22 @@ func (s *Switch) FlowCount() int {
 // groups and ports without acquiring the switch mutex. Control-plane
 // mutations racing with a traversal are seen either entirely or not at
 // all (per-structure RCU views).
+//
+// HandleFrame is a thin wrapper over a 1-frame burst: the burst engine
+// is the single datapath, so fault-injection paths and per-frame
+// callers exercise exactly the code HandleBurst does. Single-frame
+// calls skip the burst-size histogram to keep per-frame atomics off
+// this path.
 func (s *Switch) HandleFrame(inPort uint32, data []byte) {
 	pl := s.pl.Load()
 	p := pl.ports[inPort]
-	if p == nil || !p.recv(len(data)) {
+	if p == nil {
 		return
 	}
-	x := getExec(s, pl)
-	if err := packet.Decode(data, &x.frame); err != nil {
-		x.release()
-		return // malformed frames die here, like on real silicon
-	}
-	now := s.cfg.Clock()
-
-	// Microflow cache fronts table 0. The generation is read before the
-	// lookup: a racing table mutation can only make the cached answer
-	// newer than the recorded gen, and the next Get self-heals on the
-	// gen mismatch.
-	t0 := pl.tables[0]
-	key := flowtable.MakeCacheKey(&x.frame, inPort)
-	gen := t0.Gen()
-	entry, cached := s.cache.Get(key, gen)
-	if !cached {
-		entry = t0.Lookup(&x.frame, inPort, len(data), now)
-		s.cache.Put(key, gen, entry)
-	} else if entry != nil {
-		// Cached hits still account against the entry and table.
-		t0.NoteLookup(inPort, true)
-		entry.Touch(now, len(data))
-	} else {
-		t0.NoteLookup(inPort, false)
-	}
-
-	x.run(inPort, data, entry, now)
-	x.release()
+	b := getBurst(1)
+	b.one[0] = data
+	s.runBurst(pl, p, inPort, b.one[:1], b)
+	putBurst(b)
 }
 
 // Tick sweeps expired flows at now, emitting FlowRemoved where asked.

@@ -229,6 +229,7 @@ func (s *Switch) RegisterMetrics(r *obs.Registry, prefix string) {
 	sc.RegisterFunc("microcache.hits", func() int64 { return int64(s.cache.Hits()) })
 	sc.RegisterFunc("microcache.misses", func() int64 { return int64(s.cache.Misses()) })
 	sc.RegisterFunc("microcache.flows", func() int64 { return int64(s.cache.Len()) })
+	sc.RegisterHistogram("burst.sizes", s.burstSizes)
 	for i, t := range s.pl.Load().tables {
 		t := t
 		ts := sc.Scope(fmt.Sprintf("flowtable.%d", i))

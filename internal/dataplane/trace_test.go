@@ -225,6 +225,32 @@ func TestTraceLeavesNoFootprint(t *testing.T) {
 	if rep.Flows[0].PacketCount != 0 {
 		t.Errorf("flow packet count = %d after trace-only traffic", rep.Flows[0].PacketCount)
 	}
+
+	// Bursted traffic does not change the contract: live bursts move
+	// exactly their own accounting, traces on top of them still move
+	// nothing, and the trace's explanation matches what the burst did.
+	burst := make([][]byte, 16)
+	for i := range burst {
+		burst[i] = frame
+	}
+	sw.HandleBurst(1, burst)
+	midBurst := reg.Snapshot()
+	p1AfterBurst, p2AfterBurst := p1.Stats(), p2.Stats()
+	for i := 0; i < 10; i++ {
+		tr := sw.Trace(1, frame)
+		if len(tr.Steps) != 1 || !tr.Steps[0].Matched {
+			t.Fatalf("trace during burst traffic lost parity: %+v", tr.Steps)
+		}
+	}
+	final := reg.Snapshot()
+	for name, m := range midBurst {
+		if a := final[name]; a.Value != m.Value {
+			t.Errorf("%s moved during bursted tracing: %d -> %d", name, m.Value, a.Value)
+		}
+	}
+	if p1.Stats() != p1AfterBurst || p2.Stats() != p2AfterBurst {
+		t.Error("port counters moved during bursted tracing")
+	}
 }
 
 func TestTraceBadInputs(t *testing.T) {

@@ -16,6 +16,7 @@ import (
 type E7Config struct {
 	Workers []int         // worker counts to sweep (default 1,2,4,8 + GOMAXPROCS)
 	Measure time.Duration // wall time per point (default 500ms)
+	Procs   int           // GOMAXPROCS for the run; 0 = NumCPU (restored after)
 }
 
 // E7Point is one measured worker count.
@@ -33,6 +34,7 @@ type E7Result struct {
 	GOMAXPROCS int       `json:"gomaxprocs"`
 	NumCPU     int       `json:"num_cpu"`
 	MeasureMS  int64     `json:"measure_ms"`
+	Warning    string    `json:"warning,omitempty"` // set when cores < workers: speedups are not meaningful
 	Points     []E7Point `json:"points"`
 }
 
@@ -106,10 +108,26 @@ func E7PipelineParallel(cfg E7Config) (*Table, *E7Result, error) {
 		return nil, nil, err
 	}
 
+	// The original harness only *reported* GOMAXPROCS and so silently
+	// measured worker scaling on however many procs the runner happened
+	// to give it. Set it explicitly (default: every core) and restore on
+	// exit, and flag the run when the host can't back the sweep.
+	procs := cfg.Procs
+	if procs <= 0 {
+		procs = runtime.NumCPU()
+	}
+	orig := runtime.GOMAXPROCS(procs)
+	defer runtime.GOMAXPROCS(orig)
+
 	res := &E7Result{
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GOMAXPROCS: procs,
 		NumCPU:     runtime.NumCPU(),
 		MeasureMS:  cfg.Measure.Milliseconds(),
+	}
+	if cores := min(procs, res.NumCPU); cores < maxW {
+		res.Warning = fmt.Sprintf(
+			"effective cores=%d < max workers=%d: multi-worker points timeshare cores; speedup_vs_1 reflects scheduling, not scaling",
+			cores, maxW)
 	}
 	tbl := &Table{
 		ID:     "E7",
@@ -117,6 +135,9 @@ func E7PipelineParallel(cfg E7Config) (*Table, *E7Result, error) {
 		Header: []string{"workers", "frames/s", "speedup"},
 		Notes: []string{fmt.Sprintf("GOMAXPROCS=%d NumCPU=%d; speedup is bounded by available cores",
 			res.GOMAXPROCS, res.NumCPU)},
+	}
+	if res.Warning != "" {
+		tbl.Notes = append(tbl.Notes, "WARNING: "+res.Warning)
 	}
 
 	var base float64

@@ -201,3 +201,37 @@ func TestE10QuickTransactions(t *testing.T) {
 		t.Errorf("commit latency missing: %+v", res)
 	}
 }
+
+func TestE12QuickBurstScaling(t *testing.T) {
+	tbl, res, err := E12BurstScaling(E12Config{
+		Workers: []int{1, 2},
+		Procs:   []int{1},
+		Burst:   8,
+		Measure: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 proc setting x 3 modes; frame/burst modes sweep workers too.
+	modes := map[string]int{}
+	for _, p := range res.Points {
+		modes[p.Mode]++
+		if p.FramesPerSec <= 0 {
+			t.Errorf("%s w=%d: frames/s = %f", p.Mode, p.Workers, p.FramesPerSec)
+		}
+		if p.GOMAXPROCS != 1 {
+			t.Errorf("%s w=%d: gomaxprocs = %d, want 1", p.Mode, p.Workers, p.GOMAXPROCS)
+		}
+	}
+	for _, mode := range []string{"frame", "burst", "ring"} {
+		if modes[mode] != 2 {
+			t.Errorf("mode %s has %d points, want 2", mode, modes[mode])
+		}
+	}
+	if res.NumCPU < 2 && res.Warning == "" {
+		t.Error("cores < max workers but no warning set")
+	}
+	if tbl.ID != "E12" || len(tbl.Rows) != len(res.Points) {
+		t.Errorf("table: id=%s rows=%d points=%d", tbl.ID, len(tbl.Rows), len(res.Points))
+	}
+}

@@ -38,6 +38,11 @@ func (k *CacheKey) hash() uint64 {
 	return h
 }
 
+// Hash exposes the key's shard-selector hash. The burst datapath hashes
+// each key once while grouping frames by microflow and hands the result
+// to LookupBatch/PutHashed, so the cache never re-derives it.
+func (k *CacheKey) Hash() uint64 { return k.hash() }
+
 func macBits(m packet.MAC) uint64 {
 	return uint64(m[0])<<40 | uint64(m[1])<<32 | uint64(m[2])<<24 |
 		uint64(m[3])<<16 | uint64(m[4])<<8 | uint64(m[5])
@@ -91,17 +96,17 @@ func NewMicroCache(max int) *MicroCache {
 	return c
 }
 
-func (c *MicroCache) shard(key *CacheKey) *cacheShard {
-	return &c.shards[key.hash()&(cacheShards-1)]
-}
-
 // Get returns the cached entry for key if still valid against gen.
 // The second result reports whether the cache had an authoritative
 // answer (which may be a cached miss: entry == nil, ok == true).
 func (c *MicroCache) Get(key CacheKey, gen uint64) (*Entry, bool) {
-	sh := c.shard(&key)
+	return c.getHashed(&key, key.hash(), gen)
+}
+
+func (c *MicroCache) getHashed(key *CacheKey, hash, gen uint64) (*Entry, bool) {
+	sh := &c.shards[hash&(cacheShards-1)]
 	sh.mu.Lock()
-	s, ok := sh.slots[key]
+	s, ok := sh.slots[*key]
 	if !ok || s.gen != gen {
 		sh.misses++
 		sh.mu.Unlock()
@@ -112,12 +117,34 @@ func (c *MicroCache) Get(key CacheKey, gen uint64) (*Entry, bool) {
 	return s.entry, true
 }
 
+// LookupBatch resolves a batch of distinct microflow keys against
+// generation gen in one call: entries[i] and cached[i] receive what
+// Get(keys[i], gen) would return. hashes carries each key's Hash,
+// computed once by the caller during burst grouping — the batch pays
+// one hash and one shard visit per distinct key, amortized across
+// every frame of the group that produced it. The three slices must be
+// the same length; the call allocates nothing.
+func (c *MicroCache) LookupBatch(gen uint64, keys []CacheKey, hashes []uint64, entries []*Entry, cached []bool) {
+	for i := range keys {
+		entries[i], cached[i] = c.getHashed(&keys[i], hashes[i], gen)
+	}
+}
+
 // Put records the table's answer for key at generation gen.
 func (c *MicroCache) Put(key CacheKey, gen uint64, e *Entry) {
-	sh := c.shard(&key)
+	c.putHashed(&key, key.hash(), gen, e)
+}
+
+// PutHashed is Put with the key's hash precomputed (see LookupBatch).
+func (c *MicroCache) PutHashed(key CacheKey, hash, gen uint64, e *Entry) {
+	c.putHashed(&key, hash, gen, e)
+}
+
+func (c *MicroCache) putHashed(key *CacheKey, hash, gen uint64, e *Entry) {
+	sh := &c.shards[hash&(cacheShards-1)]
 	sh.mu.Lock()
 	if len(sh.slots) >= c.maxPerShard {
-		if _, exists := sh.slots[key]; !exists {
+		if _, exists := sh.slots[*key]; !exists {
 			// Cheap pseudo-random eviction: drop an arbitrary slot. Map
 			// iteration order is random enough for a cache.
 			for k := range sh.slots {
@@ -126,7 +153,7 @@ func (c *MicroCache) Put(key CacheKey, gen uint64, e *Entry) {
 			}
 		}
 	}
-	sh.slots[key] = cacheSlot{gen: gen, entry: e}
+	sh.slots[*key] = cacheSlot{gen: gen, entry: e}
 	sh.mu.Unlock()
 }
 

@@ -67,14 +67,21 @@ func (e *Entry) LastUsed() time.Time { return time.Unix(0, e.lastUsed.Load()) }
 // Touch records a hit of n bytes at time now. Safe for concurrent use;
 // the microflow-cached fast path calls it without any table lock.
 func (e *Entry) Touch(now time.Time, bytes int) {
+	e.TouchN(now, 1, uint64(bytes))
+}
+
+// TouchN records a group of packets frames totalling bytes bytes at
+// time now — the burst datapath's amortized form of Touch: one atomic
+// add per counter covers every frame of a microflow group.
+func (e *Entry) TouchN(now time.Time, packets, bytes uint64) {
 	n := now.UnixNano()
 	// Skip the store when the clock has not advanced (virtual-time
 	// benches): keeps the line clean of needless writes.
 	if e.lastUsed.Load() != n {
 		e.lastUsed.Store(n)
 	}
-	e.packets.Add(1)
-	e.bytes.Add(uint64(bytes))
+	e.packets.Add(packets)
+	e.bytes.Add(bytes)
 }
 
 // cloneForModify copies the entry with new actions and cookie,
@@ -123,6 +130,8 @@ type stripedCounter [counterStripes]struct {
 }
 
 func (c *stripedCounter) add(hint uint32) { c[hint%counterStripes].n.Add(1) }
+
+func (c *stripedCounter) addN(hint uint32, n uint64) { c[hint%counterStripes].n.Add(n) }
 
 func (c *stripedCounter) load() uint64 {
 	var sum uint64
@@ -191,6 +200,16 @@ func (t *Table) NoteLookup(hint uint32, matched bool) {
 	t.lookups.add(hint)
 	if matched {
 		t.matches.add(hint)
+	}
+}
+
+// NoteLookupN accounts n lookups with one matched verdict in a single
+// striped-counter add — the burst datapath's cache-hit accounting,
+// where a whole microflow group shares one cached answer.
+func (t *Table) NoteLookupN(hint uint32, matched bool, n uint64) {
+	t.lookups.addN(hint, n)
+	if matched {
+		t.matches.addN(hint, n)
 	}
 }
 
@@ -334,6 +353,49 @@ func (t *Table) Lookup(f *packet.Frame, inPort uint32, bytes int, now time.Time)
 	}
 	t.NoteLookup(inPort, false)
 	return nil
+}
+
+// BatchLookup is one microflow group's lookup in a Table.LookupBatch:
+// the group's representative decoded frame, how many frames and bytes
+// the group carries, and the resolved entry (out).
+type BatchLookup struct {
+	Frame   *packet.Frame
+	Packets uint64
+	Bytes   uint64
+	Entry   *Entry // out: the matched entry, or nil on miss
+}
+
+// LookupBatch resolves every group in reqs against a single published
+// view of the table — one RCU snapshot load for the whole burst — and
+// advances the counters in aggregate: each matched group's entry takes
+// one TouchN for all its frames, and the table's striped lookup/match
+// counters each take a single add covering the batch. The per-frame
+// accounting totals are identical to len(reqs) individual Lookup
+// calls; only the number of atomic operations shrinks. Lock-free and
+// allocation-free, safe to run concurrently with mutations.
+func (t *Table) LookupBatch(reqs []BatchLookup, inPort uint32, now time.Time) {
+	if len(reqs) == 0 {
+		return
+	}
+	entries := t.view.Load().entries
+	var total, matched uint64
+	for i := range reqs {
+		r := &reqs[i]
+		r.Entry = nil
+		total += r.Packets
+		for _, e := range entries {
+			if e.Match.MatchesFrame(r.Frame, inPort) {
+				e.TouchN(now, r.Packets, r.Bytes)
+				r.Entry = e
+				matched += r.Packets
+				break
+			}
+		}
+	}
+	t.lookups.addN(inPort, total)
+	if matched > 0 {
+		t.matches.addN(inPort, matched)
+	}
 }
 
 // Peek returns the highest-priority entry matching the frame on inPort

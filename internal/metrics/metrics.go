@@ -64,6 +64,14 @@ func (h *Histogram) Observe(d time.Duration) {
 	if d < 0 {
 		ns = 0
 	}
+	h.ObserveValue(ns)
+}
+
+// ObserveValue records one dimensionless sample — burst sizes, queue
+// depths — into the same power-of-two buckets the duration form uses.
+// Readers of a value histogram interpret the nanosecond-named snapshot
+// fields as raw sample values.
+func (h *Histogram) ObserveValue(ns uint64) {
 	idx := 0
 	if ns > 0 {
 		idx = 63 - leadingZeros(ns)

@@ -69,6 +69,17 @@ func (h *Host) send(data []byte) {
 	}
 }
 
+// DeliverBatch is the host's wire ingress for batch pipes: frames are
+// processed in arrival order, exactly as len(frames) Deliver calls.
+// Hosts terminate traffic rather than switching it, so there is no
+// lookup to amortize — the batch form exists so a burst-mode link can
+// end at a host without an adapter.
+func (h *Host) DeliverBatch(frames [][]byte) {
+	for _, data := range frames {
+		h.Deliver(data)
+	}
+}
+
 // Deliver is the host's wire ingress.
 func (h *Host) Deliver(data []byte) {
 	h.RxFrames.Add(1)

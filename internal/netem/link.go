@@ -24,6 +24,12 @@ type PipeConfig struct {
 	// 1500) may be sent back-to-back.
 	RateMbps   float64
 	BurstBytes int
+
+	// BurstSize, when positive, makes the link deliver in batches: the
+	// pump coalesces up to this many already-queued frames into one
+	// [][]byte delivery (NewBatchPipe), the wire analogue of NIC RX
+	// coalescing. Zero keeps per-frame delivery.
+	BurstSize int
 }
 
 // framePool recycles the queue's frame copies so a busy link allocates
@@ -42,10 +48,11 @@ var framePool = sync.Pool{New: func() any {
 // the call (the switch pipeline and host delivery both copy what they
 // keep).
 type Pipe struct {
-	ch      chan *[]byte
-	quit    chan struct{}
-	deliver func([]byte)
-	cfg     PipeConfig
+	ch           chan *[]byte
+	quit         chan struct{}
+	deliver      func([]byte)
+	deliverBatch func([][]byte) // set on batch pipes instead of deliver
+	cfg          PipeConfig
 	rng     *rand.Rand
 	rngMu   sync.Mutex
 	down    atomic.Bool
@@ -72,6 +79,113 @@ func NewPipe(cfg PipeConfig, deliver func([]byte)) *Pipe {
 	p.wg.Add(1)
 	go p.pump()
 	return p
+}
+
+// NewBatchPipe starts a pump that coalesces queued frames into batches
+// of up to cfg.BurstSize (default 32) and delivers each batch with one
+// deliverBatch call. Send-side semantics (loss, tail drop, counters)
+// are identical to NewPipe; delay and rate shaping apply once per
+// batch, over its total bytes — back-to-back frames on a wire share
+// the serialization wait anyway.
+//
+// Batch slices and every frame in them are pooled and reclaimed when
+// deliverBatch returns: the callee must not retain the outer slice or
+// any frame past the call.
+func NewBatchPipe(cfg PipeConfig, deliverBatch func([][]byte)) *Pipe {
+	if cfg.QueueLen <= 0 {
+		cfg.QueueLen = 256
+	}
+	if cfg.BurstSize <= 0 {
+		cfg.BurstSize = 32
+	}
+	p := &Pipe{
+		ch:           make(chan *[]byte, cfg.QueueLen),
+		quit:         make(chan struct{}),
+		deliverBatch: deliverBatch,
+		cfg:          cfg,
+		rng:          rand.New(rand.NewSource(cfg.Seed)),
+	}
+	p.wg.Add(1)
+	go p.pumpBatch()
+	return p
+}
+
+// pumpBatch is the batch-mode pump: block for one frame, sweep up
+// whatever else is already queued (up to BurstSize), shape and deliver
+// the lot as one batch. Under load the queue stays occupied and bursts
+// fill out; at low rate every batch is a single frame — batching cost
+// appears exactly when there is work to amortize it over.
+func (p *Pipe) pumpBatch() {
+	defer p.wg.Done()
+	bps := make([]*[]byte, 0, p.cfg.BurstSize)
+	batch := make([][]byte, 0, p.cfg.BurstSize)
+	burst := float64(p.cfg.BurstBytes)
+	if burst <= 0 {
+		burst = 1500
+	}
+	tokens := burst
+	bytesPerSec := p.cfg.RateMbps * 1e6 / 8
+	last := time.Now()
+	for {
+		select {
+		case <-p.quit:
+			return
+		case bp := <-p.ch:
+			bps = append(bps[:0], bp)
+		coalesce:
+			for len(bps) < p.cfg.BurstSize {
+				select {
+				case more := <-p.ch:
+					bps = append(bps, more)
+				default:
+					break coalesce
+				}
+			}
+			batch = batch[:0]
+			total := 0
+			for _, b := range bps {
+				batch = append(batch, *b)
+				total += len(*b)
+			}
+			if bytesPerSec > 0 {
+				now := time.Now()
+				tokens += now.Sub(last).Seconds() * bytesPerSec
+				last = now
+				if tokens > burst {
+					tokens = burst
+				}
+				if need := float64(total) - tokens; need > 0 {
+					wait := time.Duration(need / bytesPerSec * float64(time.Second))
+					select {
+					case <-p.quit:
+						return
+					case <-time.After(wait):
+					}
+					now = time.Now()
+					tokens += now.Sub(last).Seconds() * bytesPerSec
+					last = now
+				}
+				tokens -= float64(total)
+			}
+			if p.cfg.Delay > 0 {
+				select {
+				case <-p.quit:
+					return
+				case <-time.After(p.cfg.Delay):
+				}
+			}
+			if p.down.Load() {
+				p.Dropped.Add(uint64(len(bps)))
+			} else {
+				p.deliverBatch(batch)
+			}
+			for i, b := range bps {
+				framePool.Put(b)
+				bps[i] = nil
+				batch[i] = nil
+			}
+		}
+	}
 }
 
 func (p *Pipe) pump() {

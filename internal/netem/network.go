@@ -74,10 +74,15 @@ func Build(g *topo.Graph, cfg Config) *Network {
 		pa := swA.AddPort(l.APort, fmt.Sprintf("s%d-eth%d", l.A, l.APort), uint32(l.Capacity))
 		pb := swB.AddPort(l.BPort, fmt.Sprintf("s%d-eth%d", l.B, l.BPort), uint32(l.Capacity))
 		a, b, aport, bport := l.A, l.B, l.APort, l.BPort
-		w := &wire{
-			key: l.Key(),
-			ab:  NewPipe(cfg.Link, func(data []byte) { n.Switches[b].HandleFrame(bport, data) }),
-			ba:  NewPipe(cfg.Link, func(data []byte) { n.Switches[a].HandleFrame(aport, data) }),
+		w := &wire{key: l.Key()}
+		if cfg.Link.BurstSize > 0 {
+			// Burst-mode links deliver coalesced batches straight into the
+			// switch's batched pipeline walk.
+			w.ab = NewBatchPipe(cfg.Link, func(frames [][]byte) { n.Switches[b].HandleBurst(bport, frames) })
+			w.ba = NewBatchPipe(cfg.Link, func(frames [][]byte) { n.Switches[a].HandleBurst(aport, frames) })
+		} else {
+			w.ab = NewPipe(cfg.Link, func(data []byte) { n.Switches[b].HandleFrame(bport, data) })
+			w.ba = NewPipe(cfg.Link, func(data []byte) { n.Switches[a].HandleFrame(aport, data) })
 		}
 		pa.SetTx(func(data []byte) { w.ab.Send(data) })
 		pb.SetTx(func(data []byte) { w.ba.Send(data) })
@@ -135,8 +140,14 @@ func (n *Network) AttachHost(name string, node topo.NodeID, ip packet.IPv4Addr, 
 	h := NewHost(name, ip)
 	port := sw.AddPort(portNo, fmt.Sprintf("s%d-%s", node, name), 1000)
 
-	toHost := NewPipe(cfg, h.Deliver)
-	toSwitch := NewPipe(cfg, func(data []byte) { sw.HandleFrame(portNo, data) })
+	var toHost, toSwitch *Pipe
+	if cfg.BurstSize > 0 {
+		toHost = NewBatchPipe(cfg, h.DeliverBatch)
+		toSwitch = NewBatchPipe(cfg, func(frames [][]byte) { sw.HandleBurst(portNo, frames) })
+	} else {
+		toHost = NewPipe(cfg, h.Deliver)
+		toSwitch = NewPipe(cfg, func(data []byte) { sw.HandleFrame(portNo, data) })
+	}
 	port.SetTx(func(data []byte) { toHost.Send(data) })
 	h.SetTx(toSwitch.Send)
 
