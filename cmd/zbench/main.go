@@ -20,10 +20,10 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id: e1,e1a,e2,e3,e3a,e4,e5,e6,e7,e8,e9,e10,e11,e12 or all")
+	exp := flag.String("exp", "all", "experiment id: e1,e1a,e2,e3,e3a,e4,e5,e6,e7,e8,e9,e10,e11,e12,e14 or all")
 	quick := flag.Bool("quick", false, "reduced parameters for a fast pass")
 	seed := flag.Int64("seed", 1, "workload seed")
-	jsonOut := flag.String("json", "", "also write machine-readable results to this file (e7,e8,e9,e10,e11,e12)")
+	jsonOut := flag.String("json", "", "also write machine-readable results to this file (e7,e8,e9,e10,e11,e12,e14)")
 	flag.Parse()
 
 	run := func(id string) bool {
@@ -242,6 +242,29 @@ func main() {
 			cfg.Measure = 100 * time.Millisecond
 		}
 		t, res, err := experiments.E12BurstScaling(cfg)
+		if err != nil {
+			fail(err)
+		}
+		t.Fprint(os.Stdout)
+		if *jsonOut != "" {
+			data, err := json.MarshalIndent(res, "", "  ")
+			if err != nil {
+				fail(err)
+			}
+			if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+				fail(err)
+			}
+		}
+	}
+	if run("e14") {
+		ran++
+		cfg := experiments.E14Config{}
+		if *quick {
+			cfg.Switches = 2
+			cfg.Rules = 4
+			cfg.LoadDuration = 200 * time.Millisecond
+		}
+		t, res, err := experiments.E14ClusterFailover(cfg)
 		if err != nil {
 			fail(err)
 		}

@@ -66,6 +66,13 @@ var ErrAuditBusy = errors.New("controller: switch busy in a transaction")
 // transaction holds the switch.
 func (c *Controller) AuditSwitch(sc *SwitchConn) (AuditReport, error) {
 	rep := AuditReport{DPID: sc.dpid}
+	if !sc.active.Load() {
+		// Not activated: this instance does not own the switch, and
+		// repairing a standby's empty intent against the master's live
+		// table would delete every rule as "alien".
+		c.auditStats.Skipped.Inc()
+		return rep, ErrAuditBusy
+	}
 	if sc.reconciling.Load() {
 		// Auditing before the post-reconnect stale-epoch flush would
 		// re-add intent under cookies the reconciler is about to purge

@@ -69,6 +69,24 @@ type Config struct {
 	// AuditTimeout bounds the stats query and repair barrier of one
 	// audit pass; default 2s.
 	AuditTimeout time.Duration
+	// EpochOffset and EpochStride partition the 16-bit session-epoch
+	// space across a controller cluster: instance i of a cluster of up
+	// to EpochStride members sets Offset=i, Stride=members, and every
+	// epoch it mints satisfies epoch ≡ Offset+1 (mod Stride) — so two
+	// instances can never stamp flows with the same epoch, which is
+	// what lets a takeover's cookie reconciliation distinguish the old
+	// master's rules from its own. Zero values mean the whole space
+	// (single instance, the default).
+	EpochOffset uint64
+	EpochStride uint64
+	// Mastership, when set, defers switch activation to an external
+	// coordinator (the cluster layer): a connecting datapath is
+	// registered and NIB-visible but posts no SwitchUp and feeds no
+	// app events until ActivateSwitch — so a standby instance can hold
+	// a warm connection without its apps programming a switch it does
+	// not own. Nil keeps the single-instance behavior: every
+	// connection activates itself.
+	Mastership Mastership
 	// TraceBuffer is the control-loop flight recorder's ring capacity
 	// (last-N traced events retained); 0 means 1024. Tracing starts in
 	// TraceOff regardless — flip it at runtime via Tracing().SetMode or
@@ -81,6 +99,24 @@ type Config struct {
 	ErrorHandler func(AsyncError)
 	// Logf receives diagnostics; nil silences them.
 	Logf func(format string, args ...any)
+}
+
+// Mastership is the hook surface an external mastership coordinator
+// (the cluster layer) implements to own switch activation. Both hooks
+// are called from the connection's serve goroutine, outside controller
+// locks — they may call back into the Controller (ActivateSwitch,
+// Switch, NIB) but must not block for long, since the switch's receive
+// loop waits.
+type Mastership interface {
+	// SwitchConnected fires after a datapath registers. reconnect is
+	// true when the DPID was seen before (including via MarkSeen — a
+	// takeover target learned through replication counts as returning,
+	// so activation reconciles the old master's flows instead of
+	// trusting a clean table).
+	SwitchConnected(dpid uint64, reconnect bool)
+	// SwitchGone fires after a registered datapath's connection is torn
+	// down and unregistered.
+	SwitchGone(dpid uint64)
 }
 
 // DispatchStats are the control plane's event-path health counters.
@@ -122,10 +158,20 @@ type Controller struct {
 	switches atomic.Pointer[switchMap]
 	apps     atomic.Pointer[[]appEntry]
 
-	shards []chan queuedEvent
-	quit   chan struct{}
-	loopWG sync.WaitGroup
-	connWG sync.WaitGroup
+	// shards carry the data-plane event stream (packet-ins, flow
+	// removals, port status); ctlShards are each worker's control lane —
+	// a small priority queue for lifecycle events (SwitchUp, SwitchDown,
+	// flowSync markers) that the worker drains ahead of its data shard.
+	// Without the lane, a takeover's SwitchUp queues behind a packet-in
+	// flood from already-active switches and the apps' intent reinstall
+	// is delayed unboundedly — while the reconciler, whose marker shares
+	// the fate, times out and flushes the dead master's rules anyway,
+	// leaving the switch forwarding on an empty table for the duration.
+	shards    []chan queuedEvent
+	ctlShards []chan queuedEvent
+	quit      chan struct{}
+	loopWG    sync.WaitGroup
+	connWG    sync.WaitGroup
 
 	// reg is the unified metric registry (see Metrics); rec the
 	// control-loop flight recorder (see Tracing); connStats the
@@ -188,6 +234,13 @@ func New(cfg Config) (*Controller, error) {
 	if cfg.AuditTimeout <= 0 {
 		cfg.AuditTimeout = 2 * time.Second
 	}
+	if cfg.EpochStride == 0 {
+		cfg.EpochStride = 1
+	}
+	if cfg.EpochStride > 1<<15 {
+		return nil, fmt.Errorf("epoch stride %d leaves no epochs per instance", cfg.EpochStride)
+	}
+	cfg.EpochOffset %= cfg.EpochStride
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
@@ -202,6 +255,7 @@ func New(cfg Config) (*Controller, error) {
 		lastEpoch: make(map[uint64]uint64),
 		stores:    make(map[uint64]*FlowStore),
 		shards:    make([]chan queuedEvent, cfg.DispatchWorkers),
+		ctlShards: make([]chan queuedEvent, cfg.DispatchWorkers),
 		quit:      make(chan struct{}),
 		reg:       obs.NewRegistry(),
 		rec:       obs.NewFlightRecorder(cfg.TraceBuffer),
@@ -218,7 +272,10 @@ func New(cfg Config) (*Controller, error) {
 	go c.acceptLoop()
 	for i := range c.shards {
 		c.shards[i] = make(chan queuedEvent, cfg.EventQueue)
-		go c.dispatchLoop(c.shards[i])
+		// Lifecycle events are rare (a handful per switch session); a
+		// small buffer suffices and keeps postBlocking waits short.
+		c.ctlShards[i] = make(chan queuedEvent, 64)
+		go c.dispatchLoop(c.ctlShards[i], c.shards[i])
 	}
 	if cfg.Discovery {
 		c.disc.start(cfg.DiscoveryInterval)
@@ -265,6 +322,9 @@ func (c *Controller) LastDetection() time.Duration {
 func (c *Controller) QueuedEvents() int {
 	n := 0
 	for _, sh := range c.shards {
+		n += len(sh)
+	}
+	for _, sh := range c.ctlShards {
 		n += len(sh)
 	}
 	return n
@@ -324,8 +384,16 @@ func (c *Controller) registerSwitch(sc *SwitchConn) (reconnect, ok bool) {
 		return false, false
 	}
 	// Epochs live in 16 cookie bits and are never 0 (0 marks flows not
-	// installed through a SwitchConn).
-	sc.epoch = c.nextEpoch%((1<<16)-1) + 1
+	// installed through a SwitchConn). The offset/stride partition
+	// keeps a cluster's instances in disjoint residue classes: with
+	// span = ⌊65535/stride⌋ distinct epochs per instance, the values
+	// 1+offset+stride·n stay within [1, 65535] and ≡ offset+1 (mod
+	// stride). (A naive 1+(offset+n·stride) mod 65535 would leak
+	// across classes — 65535 is odd, so stepping wraps onto every
+	// residue.) Stride 1 reduces to the historic single-instance
+	// numbering.
+	span := uint64(1<<16-1) / c.cfg.EpochStride
+	sc.epoch = 1 + c.cfg.EpochOffset + c.cfg.EpochStride*(c.nextEpoch%span)
 	c.nextEpoch++
 	// The intended-state store is per-DPID and outlives sessions.
 	if c.stores[sc.dpid] == nil {
@@ -334,12 +402,15 @@ func (c *Controller) registerSwitch(sc *SwitchConn) (reconnect, ok bool) {
 	sc.store = c.stores[sc.dpid]
 	_, reconnect = c.lastEpoch[sc.dpid]
 	c.lastEpoch[sc.dpid] = sc.epoch
-	if reconnect {
+	sc.reconnect = reconnect
+	if reconnect && c.cfg.Mastership == nil {
 		// Block audits until reconcileFlows has flushed stale-epoch
 		// leftovers: an audit pass running first could re-add intended
 		// flows under their old-epoch cookies, which the reconciler
 		// would then flush from the switch AND the store, destroying
 		// intent. The flag drops when the reconcile pass completes.
+		// (Under deferred mastership the flag rises in ActivateSwitch
+		// instead — no reconcile runs before activation.)
 		sc.reconciling.Store(true)
 	}
 	old := *c.switches.Load()
@@ -356,8 +427,77 @@ func (c *Controller) registerSwitch(sc *SwitchConn) (reconnect, ok bool) {
 	next[sc.dpid] = sc
 	c.switches.Store(&next)
 	c.nib.addSwitch(sc.features)
-	c.post(SwitchUp{DPID: sc.dpid, Features: sc.features, Reconnect: reconnect})
+	if c.cfg.Mastership == nil {
+		// Single-instance mode: every connection activates itself.
+		// Under deferred mastership the SwitchUp waits for
+		// ActivateSwitch — apps must not program a switch this
+		// instance does not yet own.
+		sc.active.Store(true)
+		c.post(SwitchUp{DPID: sc.dpid, Features: sc.features, Reconnect: reconnect})
+	}
 	return reconnect, true
+}
+
+// ActivateSwitch releases a deferred activation (Config.Mastership):
+// it posts the SwitchUp apps install against and, when the DPID is
+// returning, runs the cookie-epoch reconciliation pass that flushes
+// the previous owner's flows once the apps have reinstalled — the
+// takeover path: intent is re-derived, stale rules are strictly
+// deleted, traffic under still-valid rules keeps flowing throughout.
+// Idempotent; an error means the DPID is not connected here.
+func (c *Controller) ActivateSwitch(dpid uint64) error {
+	sc, ok := c.Switch(dpid)
+	if !ok {
+		return fmt.Errorf("activate %#x: not connected", dpid)
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return fmt.Errorf("activate %#x: controller closed", dpid)
+	}
+	if sc.active.Swap(true) {
+		c.mu.Unlock()
+		return nil // already active
+	}
+	// Unlike the single-instance reconnect path, activation reconciles
+	// unconditionally: a standby's connection may predate the takeover
+	// (it was already attached, just inactive), so "first registration
+	// here" proves nothing about the flow table — the dead master's
+	// rules are there either way. The pass is cheap when the table is
+	// clean (one stats round trip, zero deletes).
+	sc.reconciling.Store(true) // audit gate up before apps reinstall
+	c.connWG.Add(1)
+	c.mu.Unlock()
+	c.postBlocking(SwitchUp{DPID: dpid, Features: sc.features, Reconnect: sc.reconnect})
+	go c.reconcileFlows(sc)
+	return nil
+}
+
+// DeactivateSwitch is ActivateSwitch's inverse, for deposal: a master
+// that learns a peer claimed its switch with a newer term stands down
+// — apps get a SwitchDown (the connection itself stays up, demoted to
+// slave at the switch), the auditor stops repairing a table this
+// instance no longer owns. Idempotent; a no-op for unknown or already
+// inactive DPIDs.
+func (c *Controller) DeactivateSwitch(dpid uint64) {
+	sc, ok := c.Switch(dpid)
+	if !ok || !sc.active.Swap(false) {
+		return
+	}
+	c.postBlocking(SwitchDown{DPID: dpid})
+}
+
+// MarkSeen records dpid as previously known, so its next registration
+// counts as a reconnect even if this instance never owned a session to
+// it. A cluster standby calls it when replication tells it the switch
+// exists: on takeover the switch arrives carrying the dead master's
+// flows, and only the reconnect path reconciles them away.
+func (c *Controller) MarkSeen(dpid uint64) {
+	c.mu.Lock()
+	if _, ok := c.lastEpoch[dpid]; !ok {
+		c.lastEpoch[dpid] = 0 // epoch 0 is never minted: "seen, never owned"
+	}
+	c.mu.Unlock()
 }
 
 // unregisterSwitch tears down sc's registration — but only if sc is
@@ -366,13 +506,14 @@ func (c *Controller) registerSwitch(sc *SwitchConn) (reconnect, ok bool) {
 // entry or tell apps a live switch went down. NIB removal and the
 // SwitchDown post happen under the same c.mu hold as the registry
 // update, mirroring registerSwitch, so per-DPID lifecycle events reach
-// the dispatch shard in registry order.
-func (c *Controller) unregisterSwitch(sc *SwitchConn) {
+// the dispatch shard in registry order. Reports whether sc was the
+// registered connection (the caller fires the Mastership hook on true).
+func (c *Controller) unregisterSwitch(sc *SwitchConn) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	old := *c.switches.Load()
 	if old[sc.dpid] != sc {
-		return // a newer session owns this DPID now
+		return false // a newer session owns this DPID now
 	}
 	next := make(switchMap, len(old))
 	for k, v := range old {
@@ -382,9 +523,12 @@ func (c *Controller) unregisterSwitch(sc *SwitchConn) {
 	}
 	c.switches.Store(&next)
 	c.nib.removeSwitch(sc.dpid)
-	if !c.closed {
+	// A connection that never activated told the apps nothing; its
+	// death is likewise none of their business.
+	if !c.closed && sc.active.Load() {
 		c.post(SwitchDown{DPID: sc.dpid})
 	}
+	return true
 }
 
 // Close stops the controller and disconnects every datapath.
@@ -445,10 +589,11 @@ func (c *Controller) serve(raw net.Conn) {
 		sc.close()
 		return
 	}
-	if reconnect {
+	if reconnect && c.cfg.Mastership == nil {
 		// A returning DPID may carry flows from its previous session;
 		// once the apps have reinstalled under the fresh epoch, flush
-		// the leftovers.
+		// the leftovers. (Deferred mastership runs this pass from
+		// ActivateSwitch instead, after the lease is won.)
 		c.connWG.Add(1)
 		go c.reconcileFlows(sc)
 	}
@@ -456,23 +601,36 @@ func (c *Controller) serve(raw net.Conn) {
 		c.connWG.Add(1)
 		go c.probeLoop(sc)
 	}
+	if c.cfg.Mastership != nil {
+		c.cfg.Mastership.SwitchConnected(sc.dpid, reconnect)
+	}
 
 	for {
 		msg, h, err := sc.conn.Receive()
 		if err != nil {
 			break
 		}
+		// Before activation the apps do not know this switch exists:
+		// its asynchronous events stop here (the NIB and stores still
+		// track them, so activation starts warm).
+		active := sc.active.Load()
 		switch m := msg.(type) {
 		case *zof.PacketIn:
-			c.post(PacketInEvent{DPID: sc.dpid, Msg: *m})
+			if active {
+				c.post(PacketInEvent{DPID: sc.dpid, Msg: *m})
+			}
 		case *zof.FlowRemoved:
 			// The switch retired the rule (timeout or delete); retire the
 			// matching intent so the auditor does not resurrect it.
 			sc.store.RemoveIfCookie(FlowKey{m.TableID, m.Match, m.Priority}, m.Cookie)
-			c.post(FlowRemovedEvent{DPID: sc.dpid, Msg: *m})
+			if active {
+				c.post(FlowRemovedEvent{DPID: sc.dpid, Msg: *m})
+			}
 		case *zof.PortStatus:
 			c.nib.setPort(sc.dpid, m.Port)
-			c.post(PortStatusEvent{DPID: sc.dpid, Msg: *m})
+			if active {
+				c.post(PortStatusEvent{DPID: sc.dpid, Msg: *m})
+			}
 		case *zof.EchoRequest:
 			_ = sc.conn.SendXID(&zof.EchoReply{Data: m.Data}, h.XID)
 		case *zof.Hello:
@@ -500,7 +658,9 @@ func (c *Controller) serve(raw net.Conn) {
 	}
 
 	sc.close()
-	c.unregisterSwitch(sc)
+	if c.unregisterSwitch(sc) && c.cfg.Mastership != nil {
+		c.cfg.Mastership.SwitchGone(sc.dpid)
+	}
 }
 
 // eventKey returns the sharding key: the DPID whose per-switch FIFO the
@@ -567,28 +727,86 @@ func (c *Controller) post(ev Event) {
 		qe.traced = true
 		qe.enq = time.Now().UnixNano()
 	}
+	lane := c.laneFor(ev)
 	select {
-	case c.shards[shardFor(eventKey(ev), len(c.shards))] <- qe:
+	case lane[shardFor(eventKey(ev), len(lane))] <- qe:
 	default:
 		c.stats.Dropped.Inc()
 		c.cfg.Logf("dispatch shard full; dropping %T", ev)
 	}
 }
 
-func (c *Controller) dispatchLoop(events <-chan queuedEvent) {
+// postBlocking enqueues like post but waits for a slot instead of
+// dropping. Activation lifecycle events are correctness-bearing — a
+// SwitchUp lost to a packet-in flood means the apps never reinstall
+// intent on a freshly adopted switch, which no later event repairs —
+// and their callers (cluster claim goroutines, the mastership API) are
+// never connection readers, so waiting cannot deadlock a reader
+// against its own shard. A saturated shard continuously frees slots as
+// its worker drains, so the wait is bounded by dispatch progress; only
+// shutdown abandons the send.
+func (c *Controller) postBlocking(ev Event) {
+	select {
+	case <-c.quit:
+		return
+	default:
+	}
+	qe := queuedEvent{ev: ev}
+	if c.rec.Sample() {
+		qe.traced = true
+		qe.enq = time.Now().UnixNano()
+	}
+	lane := c.laneFor(ev)
+	select {
+	case lane[shardFor(eventKey(ev), len(lane))] <- qe:
+	case <-c.quit:
+	}
+}
+
+// dispatchLoop drains one worker's two lanes, control first: a
+// lifecycle event never waits behind the data backlog, only behind the
+// event currently in flight. Within each lane FIFO holds, which is the
+// ordering the reconciler's flowSync marker relies on (it must follow
+// the SwitchUp posted before it — both ride the control lane).
+func (c *Controller) dispatchLoop(ctl, events <-chan queuedEvent) {
 	defer c.loopWG.Done()
+	run := func(qe queuedEvent) {
+		c.stats.Dispatched.Inc()
+		if qe.traced {
+			qe.deq = time.Now().UnixNano()
+		}
+		c.dispatch(qe)
+	}
 	for {
+		// Priority poll: empty the control lane before touching data.
 		select {
 		case <-c.quit:
 			return
+		case qe := <-ctl:
+			run(qe)
+			continue
+		default:
+		}
+		select {
+		case <-c.quit:
+			return
+		case qe := <-ctl:
+			run(qe)
 		case qe := <-events:
-			c.stats.Dispatched.Inc()
-			if qe.traced {
-				qe.deq = time.Now().UnixNano()
-			}
-			c.dispatch(qe)
+			run(qe)
 		}
 	}
+}
+
+// laneFor picks the shard set an event rides: lifecycle events (and the
+// reconciler's ordering marker) take the control lane, everything else
+// the data lane.
+func (c *Controller) laneFor(ev Event) []chan queuedEvent {
+	switch ev.(type) {
+	case SwitchUp, SwitchDown, flowSync:
+		return c.ctlShards
+	}
+	return c.shards
 }
 
 func (c *Controller) dispatch(qe queuedEvent) {

@@ -71,6 +71,19 @@ func (n *NIB) removeSwitch(dpid uint64) {
 			n.graph.RemoveLink(l.Key())
 		}
 	}
+	// Hosts attached to the departed switch are unreachable and their
+	// locations stale; drop them (and their IP index entries) so a
+	// forwarding app cannot route toward a switch that no longer
+	// exists. They re-learn from traffic wherever they reappear.
+	for mac, h := range n.hosts {
+		if h.DPID != dpid {
+			continue
+		}
+		delete(n.hosts, mac)
+		if h.IP != (packet.IPv4Addr{}) && n.byIP[h.IP] == mac {
+			delete(n.byIP, h.IP)
+		}
+	}
 }
 
 func (n *NIB) setPort(dpid uint64, p zof.PortInfo) {
@@ -252,6 +265,48 @@ func (n *NIB) Hosts() []HostInfo {
 		out = append(out, h)
 	}
 	return out
+}
+
+// Replication mutators: the cluster layer applies peer-originated NIB
+// deltas through these, so a standby's topology picture tracks the
+// master's without a local switch connection. They reuse the internal
+// mutators — replicated state obeys the same invariants (sticky infra
+// ports, link-down propagation) as locally observed state — except
+// ApplyHost, which writes verbatim: the infra-port heuristic already
+// ran on the instance that saw the packet.
+
+// ApplySwitch installs or refreshes a switch entry (replication).
+func (n *NIB) ApplySwitch(f zof.FeaturesReply) { n.addSwitch(f) }
+
+// ApplyRemoveSwitch removes a switch and its dependent state
+// (replication).
+func (n *NIB) ApplyRemoveSwitch(dpid uint64) { n.removeSwitch(dpid) }
+
+// ApplyPort installs or refreshes a port record (replication).
+func (n *NIB) ApplyPort(dpid uint64, p zof.PortInfo) { n.setPort(dpid, p) }
+
+// ApplyLink installs an inter-switch link (replication). Returns true
+// if the link was new or revived.
+func (n *NIB) ApplyLink(a uint64, ap uint32, b uint64, bp uint32) bool {
+	return n.addLink(a, ap, b, bp)
+}
+
+// ApplyRemoveLink removes an inter-switch link (replication).
+func (n *NIB) ApplyRemoveLink(a uint64, ap uint32, b uint64, bp uint32) bool {
+	return n.removeLink(a, ap, b, bp)
+}
+
+// ApplyHost installs a host location verbatim (replication).
+func (n *NIB) ApplyHost(h HostInfo) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if old, ok := n.hosts[h.MAC]; ok && h.IP == (packet.IPv4Addr{}) {
+		h.IP = old.IP
+	}
+	n.hosts[h.MAC] = h
+	if h.IP != (packet.IPv4Addr{}) {
+		n.byIP[h.IP] = h.MAC
+	}
 }
 
 // IsSwitchPort reports whether (dpid, port) leads to another switch.

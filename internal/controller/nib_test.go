@@ -1,0 +1,117 @@
+package controller
+
+import (
+	"testing"
+
+	"repro/internal/packet"
+	"repro/internal/zof"
+)
+
+func nibFeatures(dpid uint64, ports ...uint32) zof.FeaturesReply {
+	f := zof.FeaturesReply{DPID: dpid}
+	for _, p := range ports {
+		f.Ports = append(f.Ports, zof.PortInfo{No: p})
+	}
+	return f
+}
+
+// TestNIBRemoveSwitchDropsHosts is the regression test for the host
+// leak: removeSwitch used to clear switches/ports/links but leave the
+// departed switch's hosts in hosts and byIP, so lookups kept routing
+// toward a switch that no longer existed and the maps grew without
+// bound across switch churn.
+func TestNIBRemoveSwitchDropsHosts(t *testing.T) {
+	n := NewNIB()
+	n.addSwitch(nibFeatures(1, 1, 2))
+	n.addSwitch(nibFeatures(2, 1, 2))
+
+	macA := packet.MAC{0, 0, 0, 0, 0, 0xa}
+	macB := packet.MAC{0, 0, 0, 0, 0, 0xb}
+	ipA := packet.IPv4Addr{10, 0, 0, 1}
+	ipB := packet.IPv4Addr{10, 0, 0, 2}
+	if !n.learnHost(macA, ipA, 1, 1) {
+		t.Fatal("learnHost A")
+	}
+	if !n.learnHost(macB, ipB, 2, 1) {
+		t.Fatal("learnHost B")
+	}
+
+	n.removeSwitch(1)
+
+	if _, ok := n.Host(macA); ok {
+		t.Error("host on removed switch still in hosts map")
+	}
+	if _, ok := n.HostByIP(ipA); ok {
+		t.Error("host on removed switch still in byIP index")
+	}
+	if h, ok := n.Host(macB); !ok || h.DPID != 2 {
+		t.Errorf("host on surviving switch lost: ok=%v h=%+v", ok, h)
+	}
+	if h, ok := n.HostByIP(ipB); !ok || h.MAC != macB {
+		t.Errorf("surviving byIP entry lost: ok=%v h=%+v", ok, h)
+	}
+}
+
+// TestNIBRemoveSwitchKeepsStolenIPIndex: if a host moved switches and
+// re-learned (byIP now points at its new location's MAC entry), the
+// departed switch's cleanup must not tear out an index entry it no
+// longer owns.
+func TestNIBRemoveSwitchKeepsStolenIPIndex(t *testing.T) {
+	n := NewNIB()
+	n.addSwitch(nibFeatures(1, 1))
+	n.addSwitch(nibFeatures(2, 1))
+
+	ip := packet.IPv4Addr{10, 0, 0, 9}
+	macOld := packet.MAC{0, 0, 0, 0, 1, 1}
+	macNew := packet.MAC{0, 0, 0, 0, 2, 2}
+	n.learnHost(macOld, ip, 1, 1) // old NIC on switch 1
+	n.learnHost(macNew, ip, 2, 1) // replacement NIC claims the IP on switch 2
+
+	n.removeSwitch(1)
+
+	if h, ok := n.HostByIP(ip); !ok || h.MAC != macNew {
+		t.Errorf("byIP entry owned by surviving host removed: ok=%v h=%+v", ok, h)
+	}
+}
+
+// TestNIBApplyReplication exercises the exported Apply* mutators the
+// cluster layer feeds peer deltas through.
+func TestNIBApplyReplication(t *testing.T) {
+	n := NewNIB()
+	n.ApplySwitch(nibFeatures(7, 1, 2))
+	if !n.HasSwitch(7) {
+		t.Fatal("ApplySwitch did not install")
+	}
+	n.ApplyPort(7, zof.PortInfo{No: 3})
+	if _, ok := n.Port(7, 3); !ok {
+		t.Error("ApplyPort did not install")
+	}
+	n.ApplySwitch(nibFeatures(8, 1))
+	if !n.ApplyLink(7, 1, 8, 1) {
+		t.Error("ApplyLink reported no-op for a new link")
+	}
+	if !n.IsSwitchPort(7, 1) || !n.IsSwitchPort(8, 1) {
+		t.Error("ApplyLink did not mark infra ports")
+	}
+	h := HostInfo{MAC: packet.MAC{1, 2, 3, 4, 5, 6}, IP: packet.IPv4Addr{10, 1, 1, 1}, DPID: 7, Port: 2}
+	n.ApplyHost(h)
+	if got, ok := n.Host(h.MAC); !ok || got != h {
+		t.Errorf("ApplyHost: ok=%v got=%+v", ok, got)
+	}
+	// Verbatim write preserves a previously learned IP when the delta
+	// carries none (ARP-less sighting replicated).
+	n.ApplyHost(HostInfo{MAC: h.MAC, DPID: 7, Port: 2})
+	if got, _ := n.Host(h.MAC); got.IP != h.IP {
+		t.Errorf("ApplyHost dropped learned IP: %+v", got)
+	}
+	if !n.ApplyRemoveLink(7, 1, 8, 1) {
+		t.Error("ApplyRemoveLink reported no-op")
+	}
+	n.ApplyRemoveSwitch(7)
+	if n.HasSwitch(7) {
+		t.Error("ApplyRemoveSwitch did not remove")
+	}
+	if _, ok := n.Host(h.MAC); ok {
+		t.Error("ApplyRemoveSwitch left the switch's host behind")
+	}
+}

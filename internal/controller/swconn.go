@@ -54,6 +54,15 @@ type SwitchConn struct {
 	// it holds (see registerSwitch).
 	reconciling atomic.Bool
 
+	// active reports whether SwitchUp has been posted for this
+	// connection — immediately at registration in single-instance
+	// mode, at ActivateSwitch under deferred mastership. Inactive
+	// connections feed no app events and are not audited.
+	active atomic.Bool
+	// reconnect records whether the DPID was known at registration
+	// (set under the controller's mu, read by ActivateSwitch).
+	reconnect bool
+
 	mu      sync.Mutex
 	pending map[uint32]chan zof.Message
 	watches map[uint32]*errCollector // txn XIDs → async-error collector
@@ -92,6 +101,10 @@ func (s *SwitchConn) Epoch() uint64 { return s.epoch }
 // Done is closed when the connection is torn down (read error, liveness
 // eviction, displacement by a newer session, or controller close).
 func (s *SwitchConn) Done() <-chan struct{} { return s.done }
+
+// Active reports whether this connection has been activated — whether
+// apps have been told the switch is up (see Config.Mastership).
+func (s *SwitchConn) Active() bool { return s.active.Load() }
 
 // Features returns the handshake-time feature reply.
 func (s *SwitchConn) Features() zof.FeaturesReply { return s.features }

@@ -4,25 +4,34 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/zof"
 )
 
-// Datapath runs the control-channel session of a Switch: it dials the
+// Datapath runs one control-channel session of a Switch: it dials the
 // controller, performs the Hello and features handshake from the switch
 // side, pumps controller-to-switch messages into Switch.Process, and
-// forwards the switch's asynchronous messages up the channel.
+// forwards the switch's asynchronous messages up the channel. A Switch
+// may run several Datapaths at once (one per controller instance); the
+// switch-global role coordinator (Switch.claimRole) arbitrates which
+// of them is master.
 type Datapath struct {
 	sw     *Switch
 	conn   *zof.Conn
 	sinkID int
 
-	mu     sync.Mutex
-	role   uint32
-	gen    uint64
-	closed bool
-	done   chan struct{}
+	// role is this connection's controller role. It is written by the
+	// switch-global role coordinator (under its lock) — a master claim
+	// on one connection demotes every other connection to slave — and
+	// read lock-free on the async and mutation paths.
+	role atomic.Uint32
+
+	mu      sync.Mutex
+	pending map[uint32]chan zof.Message // switch-initiated requests (echo)
+	closed  bool
+	done    chan struct{}
 }
 
 // Connect dials the controller at addr, completes the handshake and
@@ -43,7 +52,13 @@ func Attach(sw *Switch, raw net.Conn) (*Datapath, error) {
 		conn.Close()
 		return nil, fmt.Errorf("zof handshake: %w", err)
 	}
-	dp := &Datapath{sw: sw, conn: conn, role: zof.RoleEqual, done: make(chan struct{})}
+	dp := &Datapath{
+		sw:      sw,
+		conn:    conn,
+		pending: make(map[uint32]chan zof.Message),
+		done:    make(chan struct{}),
+	}
+	dp.role.Store(zof.RoleEqual)
 	dp.sinkID = sw.AddControllerSink(dp.sendAsync)
 	go dp.readLoop()
 	return dp, nil
@@ -57,22 +72,91 @@ func (d *Datapath) Close() error {
 		return nil
 	}
 	d.closed = true
+	pend := d.pending
+	d.pending = make(map[uint32]chan zof.Message)
 	d.mu.Unlock()
+	for _, ch := range pend {
+		close(ch)
+	}
 	d.sw.RemoveControllerSink(d.sinkID)
+	d.sw.dropRole(d)
 	return d.conn.Close()
 }
 
 // Done is closed when the session ends for any reason.
 func (d *Datapath) Done() <-chan struct{} { return d.done }
 
-// sendAsync carries switch-originated messages; a slave controller
-// connection would filter here (single-controller deployments use
-// Equal/Master).
-func (d *Datapath) sendAsync(msg zof.Message) {
+// Role returns this connection's current controller role. A connection
+// that believed itself master may observe RoleSlave here after another
+// connection claimed mastership with a newer generation — the fencing
+// that protects the flow table from a deposed controller.
+func (d *Datapath) Role() uint32 { return d.role.Load() }
+
+// Echo round-trips an EchoRequest carrying data and verifies the
+// payload came back intact — the switch-side liveness probe. A mute or
+// half-open controller connection times out here; zof.ErrEchoPayload
+// flags a desynchronized peer.
+func (d *Datapath) Echo(data []byte, timeout time.Duration) error {
+	ch := make(chan zof.Message, 1)
+	xid := d.conn.NextXID()
 	d.mu.Lock()
-	slave := d.role == zof.RoleSlave
+	if d.closed {
+		d.mu.Unlock()
+		return zof.ErrConnClosed
+	}
+	d.pending[xid] = ch
 	d.mu.Unlock()
-	if slave {
+	defer func() {
+		d.mu.Lock()
+		delete(d.pending, xid)
+		d.mu.Unlock()
+	}()
+	if err := d.conn.SendXID(&zof.EchoRequest{Data: data}, xid); err != nil {
+		return err
+	}
+	var timer <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		timer = t.C
+	}
+	select {
+	case rep, ok := <-ch:
+		if !ok {
+			return zof.ErrConnClosed
+		}
+		er, isEcho := rep.(*zof.EchoReply)
+		if !isEcho {
+			return zof.ErrTypeMismatch
+		}
+		if string(er.Data) != string(data) {
+			return zof.ErrEchoPayload
+		}
+		return nil
+	case <-timer:
+		return fmt.Errorf("echo to controller timed out after %v", timeout)
+	}
+}
+
+// resolve hands an incoming reply to a blocked switch-side request.
+func (d *Datapath) resolve(xid uint32, msg zof.Message) bool {
+	d.mu.Lock()
+	ch, ok := d.pending[xid]
+	if ok {
+		delete(d.pending, xid)
+	}
+	d.mu.Unlock()
+	if ok {
+		ch <- msg
+	}
+	return ok
+}
+
+// sendAsync carries switch-originated messages; slave connections are
+// filtered — when a standby controller's connection is demoted, its
+// packet-in stream stops at the source.
+func (d *Datapath) sendAsync(msg zof.Message) {
+	if d.role.Load() == zof.RoleSlave {
 		return // slaves get no async messages
 	}
 	_, _ = d.conn.Send(msg)
@@ -88,27 +172,19 @@ func (d *Datapath) readLoop() {
 		}
 		switch m := msg.(type) {
 		case *zof.RoleRequest:
-			d.mu.Lock()
-			if m.Role != zof.RoleEqual && m.GenerationID < d.gen {
-				d.mu.Unlock()
+			rep, rerr := d.sw.claimRole(d, m.Role, m.GenerationID)
+			if rerr != nil {
 				_ = d.conn.SendXID(&zof.Error{Code: zof.ErrCodeBadRequest,
-					Detail: "stale generation id"}, h.XID)
+					Detail: rerr.Error()}, h.XID)
 				continue
 			}
-			d.role = m.Role
-			if m.Role != zof.RoleEqual {
-				d.gen = m.GenerationID
-			}
-			rep := &zof.RoleReply{Role: d.role, GenerationID: d.gen}
-			d.mu.Unlock()
 			_ = d.conn.SendXID(rep, h.XID)
+		case *zof.EchoReply:
+			d.resolve(h.XID, msg)
 		case *zof.Hello:
 			// Late hellos are tolerated.
 		default:
-			d.mu.Lock()
-			slave := d.role == zof.RoleSlave
-			d.mu.Unlock()
-			if slave && isMutation(msg) {
+			if d.role.Load() == zof.RoleSlave && isMutation(msg) {
 				_ = d.conn.SendXID(&zof.Error{Code: zof.ErrCodeIsSlave,
 					Detail: "connection is slave"}, h.XID)
 				continue

@@ -1,0 +1,88 @@
+package dataplane
+
+import (
+	"errors"
+	"sync"
+
+	"repro/internal/zof"
+)
+
+// roleCoord is the switch-global controller-role state shared by every
+// control connection of one Switch. OpenFlow's generation id is a
+// per-switch fencing token, not a per-connection one: when a new master
+// claims the switch with a fresh generation, the previous master's
+// connection — possibly still alive across a healing partition — must
+// be demoted on the spot, so its in-flight FlowMods bounce off the
+// slave filter instead of corrupting the flow table.
+type roleCoord struct {
+	mu sync.Mutex
+	// gen is the highest generation id granted to a master or slave
+	// claim; genSet distinguishes "never claimed" from generation 0.
+	gen    uint64
+	genSet bool
+	// master is the connection currently holding the master role, if
+	// any.
+	master *Datapath
+}
+
+// errStaleGeneration rejects a role claim fenced by a newer master.
+var errStaleGeneration = errors.New("stale generation id")
+
+// claimRole arbitrates a RoleRequest from connection d against the
+// switch-global role state. Master and slave claims carry a generation
+// id and are rejected when it is older than the newest one seen — the
+// fencing rule. A granted master claim demotes every other connection
+// to slave (there is exactly one master per switch); an equal claim
+// opts the connection out of the master/slave game without touching
+// the generation.
+func (s *Switch) claimRole(d *Datapath, role uint32, gen uint64) (*zof.RoleReply, error) {
+	rc := &s.roles
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	switch role {
+	case zof.RoleEqual:
+		if rc.master == d {
+			rc.master = nil
+		}
+		d.role.Store(zof.RoleEqual)
+	case zof.RoleMaster, zof.RoleSlave:
+		if rc.genSet && gen < rc.gen {
+			return nil, errStaleGeneration
+		}
+		rc.gen = gen
+		rc.genSet = true
+		if role == zof.RoleMaster {
+			if rc.master != nil && rc.master != d {
+				rc.master.role.Store(zof.RoleSlave)
+			}
+			rc.master = d
+		} else if rc.master == d {
+			rc.master = nil
+		}
+		d.role.Store(role)
+	default:
+		return nil, errors.New("unknown role")
+	}
+	return &zof.RoleReply{Role: d.role.Load(), GenerationID: rc.gen}, nil
+}
+
+// dropRole forgets a closing connection's mastership. The generation
+// survives — a reconnecting master must still present a current one.
+func (s *Switch) dropRole(d *Datapath) {
+	rc := &s.roles
+	rc.mu.Lock()
+	if rc.master == d {
+		rc.master = nil
+	}
+	rc.mu.Unlock()
+}
+
+// MasterGeneration returns the switch's current fencing token and
+// whether any master/slave claim has been made (test and experiment
+// introspection).
+func (s *Switch) MasterGeneration() (uint64, bool) {
+	rc := &s.roles
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.gen, rc.genSet
+}

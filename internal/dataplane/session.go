@@ -1,11 +1,16 @@
 package dataplane
 
 import (
+	"encoding/binary"
+	"errors"
 	"fmt"
 	"math/rand"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/zof"
 )
 
 // SessionState is the session manager's externally visible phase.
@@ -35,8 +40,16 @@ func (s SessionState) String() string {
 
 // SessionConfig tunes a Session.
 type SessionConfig struct {
-	// Addr is the controller's southbound address. Required.
+	// Addr is the controller's southbound address. Either Addr or
+	// Addrs is required.
 	Addr string
+	// Addrs is the failover endpoint list for clustered controllers:
+	// the manager dials the endpoints in order, sticks with whichever
+	// accepted the session, and advances to the next endpoint when a
+	// dial fails or a live session dies — so a switch whose master
+	// instance crashes re-homes onto a standby without operator help.
+	// When both are set, Addr is tried first.
+	Addrs []string
 	// DialTimeout bounds each connection attempt (default 5s).
 	DialTimeout time.Duration
 	// MinBackoff is the delay before the first redial after a failure
@@ -53,6 +66,18 @@ type SessionConfig struct {
 	// MaxAttempts gives up after this many consecutive failed dials
 	// (0 = retry forever). A successful session resets the count.
 	MaxAttempts int
+	// ProbeInterval enables switch-side liveness probing: every
+	// interval the manager round-trips an Echo on the live session and
+	// a full miss budget closes it — turning a mute controller (half-
+	// open TCP, partitioned control network) into a detected failure
+	// that triggers failover dialing instead of an indefinite hang.
+	// 0 disables probing (the default).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds each individual probe; 0 means ProbeInterval.
+	ProbeTimeout time.Duration
+	// ProbeMisses is the consecutive-miss budget before the session is
+	// declared dead. Default 3.
+	ProbeMisses int
 	// Seed makes the jitter deterministic for tests; 0 derives one from
 	// the address.
 	Seed int64
@@ -68,14 +93,18 @@ type SessionConfig struct {
 // Session keeps one switch attached to its controller across failures:
 // it dials, hands the transport to Attach, waits for the session to
 // die (controller restart, channel reset, liveness eviction on the far
-// end), and redials under exponential backoff with jitter. Re-attach
-// resync is driven by the controller side — the fresh handshake
-// announces the returning DPID, apps reinstall on the Reconnect
-// SwitchUp, and cookie reconciliation flushes stale flows — so the
-// switch side only has to keep the channel coming back.
+// end, or the switch-side prober's own eviction), and redials under
+// exponential backoff with jitter — rotating through the configured
+// endpoint list, so a clustered control plane's standby is dialed as
+// soon as the master is gone. Re-attach resync is driven by the
+// controller side — the fresh handshake announces the returning DPID,
+// apps reinstall on the Reconnect SwitchUp, and cookie reconciliation
+// flushes stale flows — so the switch side only has to keep the
+// channel coming back.
 type Session struct {
-	sw  *Switch
-	cfg SessionConfig
+	sw        *Switch
+	cfg       SessionConfig
+	endpoints []string
 
 	mu     sync.Mutex
 	dp     *Datapath
@@ -84,6 +113,13 @@ type Session struct {
 	state    atomic.Int32
 	sessions atomic.Uint64 // established sessions (1 = initial connect)
 	attempts atomic.Uint64 // dials attempted
+	endpoint atomic.Value  // string: address of the current/last dial
+
+	// Switch-side liveness accounting (see SessionConfig.ProbeInterval).
+	probes      atomic.Uint64
+	probeMisses atomic.Uint64
+	evictions   atomic.Uint64
+	detectNanos atomic.Int64
 
 	quit chan struct{}
 	done chan struct{}
@@ -110,8 +146,19 @@ func StartSession(sw *Switch, cfg SessionConfig) *Session {
 	} else if cfg.Jitter < 0 {
 		cfg.Jitter = 0
 	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = cfg.ProbeInterval
+	}
+	if cfg.ProbeMisses <= 0 {
+		cfg.ProbeMisses = 3
+	}
+	endpoints := make([]string, 0, len(cfg.Addrs)+1)
+	if cfg.Addr != "" {
+		endpoints = append(endpoints, cfg.Addr)
+	}
+	endpoints = append(endpoints, cfg.Addrs...)
 	if cfg.Seed == 0 {
-		for _, b := range []byte(cfg.Addr) {
+		for _, b := range []byte(strings.Join(endpoints, ",")) {
 			cfg.Seed = cfg.Seed*131 + int64(b)
 		}
 		cfg.Seed += time.Now().UnixNano()
@@ -120,10 +167,16 @@ func StartSession(sw *Switch, cfg SessionConfig) *Session {
 		cfg.Logf = func(string, ...any) {}
 	}
 	s := &Session{
-		sw:   sw,
-		cfg:  cfg,
-		quit: make(chan struct{}),
-		done: make(chan struct{}),
+		sw:        sw,
+		cfg:       cfg,
+		endpoints: endpoints,
+		quit:      make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+	if len(endpoints) > 0 {
+		s.endpoint.Store(endpoints[0])
+	} else {
+		s.endpoint.Store("")
 	}
 	go s.run()
 	return s
@@ -142,6 +195,30 @@ func (s *Session) Sessions() uint64 { return s.sessions.Load() }
 // Attempts returns how many dials have been made.
 func (s *Session) Attempts() uint64 { return s.attempts.Load() }
 
+// Endpoint returns the controller address of the current (or most
+// recently attempted) dial — which cluster instance the switch is
+// homed on.
+func (s *Session) Endpoint() string { return s.endpoint.Load().(string) }
+
+// Probes returns how many switch-side liveness probes have been sent.
+func (s *Session) Probes() uint64 { return s.probes.Load() }
+
+// ProbeMisses returns how many probes timed out or failed.
+func (s *Session) ProbeMisses() uint64 { return s.probeMisses.Load() }
+
+// Evictions returns how many sessions the switch-side prober declared
+// dead.
+func (s *Session) Evictions() uint64 { return s.evictions.Load() }
+
+// LastDetection returns, for the most recent prober eviction, the time
+// from the first probe of the fatal miss streak being sent to the
+// session being closed — the switch side's detection latency, bounded
+// by ProbeInterval × ProbeMisses for ProbeTimeout ≤ ProbeInterval.
+// Zero if no eviction has happened.
+func (s *Session) LastDetection() time.Duration {
+	return time.Duration(s.detectNanos.Load())
+}
+
 // Datapath returns the live session, or nil while disconnected.
 func (s *Session) Datapath() *Datapath {
 	s.mu.Lock()
@@ -157,7 +234,7 @@ func (s *Session) WaitConnected(timeout time.Duration) error {
 			return fmt.Errorf("session manager stopped")
 		}
 		if time.Now().After(deadline) {
-			return fmt.Errorf("not connected to %s within %v", s.cfg.Addr, timeout)
+			return fmt.Errorf("not connected to %v within %v", s.endpoints, timeout)
 		}
 		time.Sleep(time.Millisecond)
 	}
@@ -215,27 +292,35 @@ func (s *Session) backoffDelay(n int, rng *rand.Rand) time.Duration {
 func (s *Session) run() {
 	defer close(s.done)
 	defer s.state.Store(int32(SessionStopped))
+	if len(s.endpoints) == 0 {
+		s.cfg.Logf("session: no controller endpoints configured")
+		return
+	}
 	rng := rand.New(rand.NewSource(s.cfg.Seed))
 	failures := 0 // consecutive failed dials since the last live session
+	idx := 0      // endpoint cursor; advances on dial failure and session loss
 	for {
 		select {
 		case <-s.quit:
 			return
 		default:
 		}
+		addr := s.endpoints[idx%len(s.endpoints)]
+		s.endpoint.Store(addr)
 		s.setState(SessionConnecting, failures+1, nil)
 		s.attempts.Add(1)
-		dp, err := Connect(s.sw, s.cfg.Addr, s.cfg.DialTimeout)
+		dp, err := Connect(s.sw, addr, s.cfg.DialTimeout)
 		if err != nil {
 			failures++
+			idx++ // this endpoint is down; try the next one
 			if s.cfg.MaxAttempts > 0 && failures >= s.cfg.MaxAttempts {
-				s.cfg.Logf("session %s: giving up after %d attempts: %v", s.cfg.Addr, failures, err)
+				s.cfg.Logf("session %s: giving up after %d attempts: %v", addr, failures, err)
 				s.setState(SessionStopped, failures, err)
 				return
 			}
 			d := s.backoffDelay(failures, rng)
 			s.cfg.Logf("session %s: dial failed (attempt %d): %v; retrying in %v",
-				s.cfg.Addr, failures, err, d)
+				addr, failures, err, d)
 			s.setState(SessionBackoff, failures, err)
 			select {
 			case <-s.quit:
@@ -256,6 +341,9 @@ func (s *Session) run() {
 		failures = 0
 		s.sessions.Add(1)
 		s.setState(SessionConnected, 0, nil)
+		if s.cfg.ProbeInterval > 0 {
+			go s.probeLoop(dp)
+		}
 
 		select {
 		case <-s.quit:
@@ -266,16 +354,72 @@ func (s *Session) run() {
 		s.mu.Lock()
 		s.dp = nil
 		s.mu.Unlock()
-		// The session died out from under us: one MinBackoff beat before
-		// redialing so a controller that accepts-then-drops cannot spin
-		// the manager hot, then exponential growth on further failures.
+		// The session died out from under us: advance to the next
+		// endpoint (the one that just died is the least likely to be
+		// back) and take one MinBackoff beat before redialing so a
+		// controller that accepts-then-drops cannot spin the manager
+		// hot, then exponential growth on further failures.
+		idx++
 		d := s.backoffDelay(1, rng)
-		s.cfg.Logf("session %s: lost; redialing in %v", s.cfg.Addr, d)
+		s.cfg.Logf("session %s: lost; redialing %s in %v",
+			addr, s.endpoints[idx%len(s.endpoints)], d)
 		s.setState(SessionBackoff, 1, nil)
 		select {
 		case <-s.quit:
 			return
 		case <-time.After(d):
+		}
+	}
+}
+
+// probeLoop is the switch-side liveness prober for one live session:
+// sequence-stamped echoes every ProbeInterval, a full miss budget
+// closes the session (which wakes run to fail over to the next
+// endpoint). The controller side probes too (controller.Config.
+// ProbeInterval) — but only the switch side can rescue itself from a
+// blackholed channel, since the far end's eviction can never reach it.
+func (s *Session) probeLoop(dp *Datapath) {
+	t := time.NewTicker(s.cfg.ProbeInterval)
+	defer t.Stop()
+	var (
+		seq       uint64
+		misses    int
+		firstMiss time.Time
+		payload   [16]byte
+	)
+	binary.BigEndian.PutUint64(payload[:8], s.sw.DPID())
+	for {
+		select {
+		case <-s.quit:
+			return
+		case <-dp.Done():
+			return
+		case <-t.C:
+		}
+		seq++
+		binary.BigEndian.PutUint64(payload[8:], seq)
+		sent := time.Now()
+		s.probes.Add(1)
+		err := dp.Echo(payload[:], s.cfg.ProbeTimeout)
+		if err == nil {
+			misses = 0
+			continue
+		}
+		if errors.Is(err, zof.ErrConnClosed) {
+			return // torn down elsewhere
+		}
+		s.probeMisses.Add(1)
+		if misses == 0 {
+			firstMiss = sent
+		}
+		misses++
+		if misses >= s.cfg.ProbeMisses {
+			s.evictions.Add(1)
+			s.detectNanos.Store(int64(time.Since(firstMiss)))
+			s.cfg.Logf("session %s: controller mute for %d probes; closing for failover",
+				s.Endpoint(), misses)
+			dp.Close()
+			return
 		}
 	}
 }

@@ -58,6 +58,10 @@ type Switch struct {
 	controllers map[int]func(zof.Message)
 	nextSink    int
 
+	// roles is the switch-global controller-role coordinator shared by
+	// every control connection (see roles.go).
+	roles roleCoord
+
 	// Fast-path state.
 	pl         atomic.Pointer[pipeline]
 	cache      *flowtable.MicroCache

@@ -235,3 +235,54 @@ func TestE12QuickBurstScaling(t *testing.T) {
 		t.Errorf("table: id=%s rows=%d points=%d", tbl.ID, len(tbl.Rows), len(res.Points))
 	}
 }
+
+func TestE14QuickFailover(t *testing.T) {
+	e14Logf = t.Logf
+	defer func() { e14Logf = nil }()
+	tbl, res, err := E14ClusterFailover(E14Config{
+		Switches:     2,
+		Rules:        4,
+		LoadDuration: 200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []struct {
+		name string
+		f    E14Failover
+	}{{"crash", res.Crash}, {"partition", res.Partition}} {
+		if !f.f.Converged {
+			t.Fatalf("%s scenario did not converge", f.name)
+		}
+		if f.f.Takeovers != uint64(res.Switches) {
+			t.Errorf("%s: takeovers = %d, want %d", f.name, f.f.Takeovers, res.Switches)
+		}
+		// The standby must flush exactly the dead master's orphans —
+		// one per switch — and adopt every intent rule in place.
+		if f.f.StaleFlushed != uint64(res.Switches) {
+			t.Errorf("%s: stale flushed = %d, want %d", f.name, f.f.StaleFlushed, res.Switches)
+		}
+		if f.f.RulesRetained != uint64(res.Switches*res.Rules) {
+			t.Errorf("%s: retained = %d, want %d", f.name, f.f.RulesRetained, res.Switches*res.Rules)
+		}
+		if f.f.TakeoverWallMS <= 0 {
+			t.Errorf("%s: timings missing: %+v", f.name, f.f)
+		}
+	}
+	// A crash resets TCP, so sessions may detect instantly without a
+	// probe miss (DetectMS 0); a partition blackholes frames, so only
+	// the echo prober can notice — detection must be probe-paced.
+	if res.Partition.DetectMS <= 0 {
+		t.Errorf("partition: detect = %vms, want > 0", res.Partition.DetectMS)
+	}
+	// Only the partition scenario heals and observes stand-downs.
+	if res.Partition.Deposals != uint64(res.Switches) {
+		t.Errorf("deposals = %d, want %d", res.Partition.Deposals, res.Switches)
+	}
+	if res.SingleEPS <= 0 || res.ClusterEPS <= 0 {
+		t.Errorf("throughput missing: single=%f cluster=%f", res.SingleEPS, res.ClusterEPS)
+	}
+	if tbl.ID != "E14" || len(tbl.Rows) != 2 {
+		t.Errorf("table: id=%s rows=%d", tbl.ID, len(tbl.Rows))
+	}
+}

@@ -70,6 +70,15 @@ type ControlProxy struct {
 	Discarded      atomic.Uint64
 	DroppedMods    atomic.Uint64
 	InjectedErrors atomic.Uint64
+
+	// Per-direction blackhole accounting, in whole frames: ToTarget is
+	// the dialer→target direction (switch→controller on a southbound
+	// relay, sender→peer on a cluster east-west link), ToDialer the
+	// reverse. A partition experiment reads these to report how much
+	// traffic each side kept sending into the void before detecting
+	// the cut.
+	DiscardedToTarget atomic.Uint64
+	DiscardedToDialer atomic.Uint64
 }
 
 // SetFlowModPolicy installs (or, with nil, removes) the per-FlowMod
@@ -228,6 +237,11 @@ func (p *ControlProxy) pump(src, dst net.Conn, srcMu, dstMu *sync.Mutex, ctlToSw
 		}
 		if p.blackhole.Load() {
 			p.Discarded.Add(uint64(len(frame)))
+			if ctlToSwitch {
+				p.DiscardedToDialer.Add(1)
+			} else {
+				p.DiscardedToTarget.Add(1)
+			}
 			continue
 		}
 		if d := p.delayNs.Load(); d > 0 {

@@ -690,3 +690,37 @@ func (m *RoleReply) DecodeBody(b []byte) error {
 	}
 	return nil
 }
+
+// --- Experimenter --------------------------------------------------------
+
+// Experimenter carries an opaque vendor/extension payload over zof
+// framing — the OpenFlow escape hatch for protocols layered on the
+// same transport. The cluster's east-west plane (lease claims, NIB
+// deltas, anti-entropy digests) rides these frames so every
+// frame-aware tool built for the southbound channel — the netem
+// ControlProxy's blackholing, partitioning and counters in particular
+// — works on peer links unchanged.
+type Experimenter struct {
+	// Experimenter identifies the extension's owner (like an OpenFlow
+	// experimenter/vendor id); ExpType is the owner-scoped message kind.
+	Experimenter uint32
+	ExpType      uint32
+	Data         []byte
+}
+
+func (*Experimenter) Type() MsgType { return TypeExperimenter }
+func (m *Experimenter) AppendBody(b []byte) []byte {
+	b = appendU32(b, m.Experimenter)
+	b = appendU32(b, m.ExpType)
+	return append(b, m.Data...)
+}
+func (m *Experimenter) DecodeBody(b []byte) error {
+	r := reader{b: b}
+	m.Experimenter = r.u32()
+	m.ExpType = r.u32()
+	if r.err {
+		return ErrBadBody
+	}
+	m.Data = append([]byte(nil), b[r.off:]...)
+	return nil
+}

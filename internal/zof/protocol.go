@@ -39,6 +39,7 @@ const (
 	TypeRoleRequest
 	TypeRoleReply
 	TypeGroupMod
+	TypeExperimenter
 	typeMax // sentinel
 )
 
@@ -47,6 +48,7 @@ var msgTypeNames = [...]string{
 	"FeaturesReply", "PacketIn", "PacketOut", "FlowMod", "FlowRemoved",
 	"PortStatus", "StatsRequest", "StatsReply", "BarrierRequest",
 	"BarrierReply", "RoleRequest", "RoleReply", "GroupMod",
+	"Experimenter",
 }
 
 // String names the message type.
@@ -199,6 +201,8 @@ func NewMessage(t MsgType) Message {
 		return &RoleReply{}
 	case TypeGroupMod:
 		return &GroupMod{}
+	case TypeExperimenter:
+		return &Experimenter{}
 	}
 	return nil
 }

@@ -97,6 +97,7 @@ func TestRoundTripAllMessages(t *testing.T) {
 				{Weight: 5, WatchPort: 2, Actions: sampleActions()[:2]},
 			}},
 		&GroupMod{Command: GroupDelete, GroupID: 9},
+		&Experimenter{Experimenter: 0x7a656e, ExpType: 3, Data: []byte(`{"term":7}`)},
 	}
 	for _, msg := range msgs {
 		got := roundTrip(t, msg)
