@@ -20,10 +20,10 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id: e1,e1a,e2,e3,e3a,e4,e5,e6,e7,e8,e9,e10,e11,e12,e14 or all")
+	exp := flag.String("exp", "all", "experiment id: e1,e1a,e2,e3,e3a,e4,e5,e6,e7,e8,e9,e10,e11,e12,e14,e15 or all")
 	quick := flag.Bool("quick", false, "reduced parameters for a fast pass")
 	seed := flag.Int64("seed", 1, "workload seed")
-	jsonOut := flag.String("json", "", "also write machine-readable results to this file (e7,e8,e9,e10,e11,e12,e14)")
+	jsonOut := flag.String("json", "", "also write machine-readable results to this file (e7,e8,e9,e10,e11,e12,e14,e15)")
 	flag.Parse()
 
 	run := func(id string) bool {
@@ -265,6 +265,30 @@ func main() {
 			cfg.LoadDuration = 200 * time.Millisecond
 		}
 		t, res, err := experiments.E14ClusterFailover(cfg)
+		if err != nil {
+			fail(err)
+		}
+		t.Fprint(os.Stdout)
+		if *jsonOut != "" {
+			data, err := json.MarshalIndent(res, "", "  ")
+			if err != nil {
+				fail(err)
+			}
+			if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+				fail(err)
+			}
+		}
+	}
+	if run("e15") {
+		ran++
+		cfg := experiments.E15Config{Seed: *seed}
+		if *quick {
+			cfg.Flows = 500
+			cfg.Measure = 100 * time.Millisecond
+			cfg.OverlayFlows = 8
+			cfg.OverlayRounds = 2
+		}
+		t, res, err := experiments.E15StatefulNF(cfg)
 		if err != nil {
 			fail(err)
 		}

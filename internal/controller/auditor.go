@@ -197,18 +197,6 @@ func (c *Controller) auditLoop() {
 	}
 }
 
-// Metrics snapshot helpers used by experiments and tests.
-
-// Txns exposes the transaction engine's counters.
-//
-// Deprecated: read controller.txn.* from Metrics() instead.
-func (c *Controller) Txns() *TxnStats { return &c.txnStats }
-
-// Audits exposes the anti-entropy auditor's counters.
-//
-// Deprecated: read controller.audit.* from Metrics() instead.
-func (c *Controller) Audits() *AuditStats { return &c.auditStats }
-
 // IntendedFlows snapshots the intended flows recorded for dpid (nil if
 // the DPID has never connected).
 func (c *Controller) IntendedFlows(dpid uint64) map[FlowKey]IntendedFlow {

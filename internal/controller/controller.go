@@ -181,6 +181,7 @@ type Controller struct {
 	rec       *obs.FlightRecorder
 	connStats zof.ConnStats
 	tracers   map[uint64]TracerFunc
+	nfs       map[uint64]NFIntrospector
 
 	stats      DispatchStats
 	liveness   LivenessStats
@@ -260,6 +261,7 @@ func New(cfg Config) (*Controller, error) {
 		reg:       obs.NewRegistry(),
 		rec:       obs.NewFlightRecorder(cfg.TraceBuffer),
 		tracers:   make(map[uint64]TracerFunc),
+		nfs:       make(map[uint64]NFIntrospector),
 	}
 	c.txnStats.Latency = metrics.NewHistogram()
 	c.registerMetrics()
@@ -292,43 +294,6 @@ func (c *Controller) Addr() string { return c.ln.Addr().String() }
 
 // NIB exposes the network information base.
 func (c *Controller) NIB() *NIB { return c.nib }
-
-// Stats exposes the dispatch health counters.
-//
-// Deprecated: read controller.dispatch.* from Metrics() instead.
-func (c *Controller) Stats() *DispatchStats { return &c.stats }
-
-// Liveness exposes the prober/reconciler health counters.
-//
-// Deprecated: read controller.liveness.* from Metrics() instead.
-func (c *Controller) Liveness() *LivenessStats { return &c.liveness }
-
-// LastDetection returns, for the most recent liveness eviction, the
-// time from the first probe of the fatal miss streak being sent to the
-// peer being declared dead — the detection latency the miss budget
-// bounds at ProbeInterval × ProbeMisses (for ProbeTimeout ≤
-// ProbeInterval). Zero if no eviction has happened.
-//
-// Deprecated: read controller.liveness.last_detection_ns from
-// Metrics() instead.
-func (c *Controller) LastDetection() time.Duration {
-	return time.Duration(c.detectNanos.Load())
-}
-
-// QueuedEvents returns the instantaneous number of events waiting
-// across all dispatch shards.
-//
-// Deprecated: read controller.dispatch.queued from Metrics() instead.
-func (c *Controller) QueuedEvents() int {
-	n := 0
-	for _, sh := range c.shards {
-		n += len(sh)
-	}
-	for _, sh := range c.ctlShards {
-		n += len(sh)
-	}
-	return n
-}
 
 // Use registers apps, in dispatch order. Call before switches connect
 // for deterministic behavior; registration is safe at any time and
@@ -909,12 +874,6 @@ func (c *Controller) Barrier(timeout time.Duration) error {
 	wg.Wait()
 	return errors.Join(errs...)
 }
-
-// AsyncErrors returns the number of unsolicited Error replies seen
-// outside any request or transaction.
-//
-// Deprecated: read controller.async_errors from Metrics() instead.
-func (c *Controller) AsyncErrors() uint64 { return c.asyncErrors.Value() }
 
 // WaitForSwitches blocks until n datapaths are connected or the timeout
 // elapses. It polls the registry snapshot without locking.

@@ -1,19 +1,10 @@
-// Package controller implements the zen control plane: a southbound
-// TCP server speaking zof to datapaths, a network information base
-// (switches, ports, links, hosts), LLDP-based topology discovery, and
-// a northbound application framework in which control logic runs as
-// event handlers — the logically centralized software the keynote's
-// architecture separates from the forwarding hardware.
 package controller
 
 import "repro/internal/zof"
 
-// Event is anything the control plane reacts to. Events are dispatched
-// on a pool of shard workers keyed by DPID: everything concerning one
-// switch is handled in FIFO order on one goroutine, while events of
-// different switches may run concurrently. Apps must therefore be safe
-// for concurrent handler invocation (every bundled app is; each guards
-// its own state).
+// Event is anything the control plane reacts to. Dispatch semantics
+// and the capability-interface table live in the package comment
+// (doc.go).
 type Event any
 
 // SwitchUp fires when a datapath completes its handshake. Reconnect is
@@ -80,7 +71,8 @@ type HostLearned struct {
 }
 
 // App is a northbound application. Optional capability interfaces
-// (PacketInHandler and friends) determine which events it receives.
+// determine which events it receives — see the capability table in the
+// package comment (doc.go).
 type App interface {
 	Name() string
 }

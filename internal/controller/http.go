@@ -12,6 +12,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/nf"
 	"repro/internal/obs"
 	"repro/internal/zof"
 )
@@ -34,6 +35,9 @@ import (
 //	GET  /v1/trace/mode          current trace mode and sampling
 //	POST /v1/trace/mode          switch tracing off/sampled/full
 //	POST /v1/trace/packet/{dpid} explain-mode pipeline trace of a frame
+//	GET  /v1/nf/{dpid}           registered NF stages + state summaries
+//	GET  /v1/nf/{dpid}/conntrack paginated conntrack entries (?tuple=
+//	                             substring filter, ?offset=, ?limit=)
 //
 // Network mutations stay with the apps; beyond the trace-mode switch,
 // the REST surface is read-only in this prototype (the keynote's
@@ -329,7 +333,90 @@ func (c *Controller) HTTPHandler() http.Handler {
 		}
 		writeJSON(w, tr)
 	})
+	a.handle("GET", "/v1/nf/{dpid}", func(w http.ResponseWriter, r *http.Request, p map[string]string) {
+		in, ok := c.nfFromParams(w, p)
+		if !ok {
+			return
+		}
+		st := in.StageSummaries()
+		if st == nil {
+			st = []nf.StageStatus{}
+		}
+		writeJSON(w, map[string]any{"stages": st})
+	})
+	a.handle("GET", "/v1/nf/{dpid}/conntrack", func(w http.ResponseWriter, r *http.Request, p map[string]string) {
+		in, ok := c.nfFromParams(w, p)
+		if !ok {
+			return
+		}
+		q := r.URL.Query()
+		offset, limit := 0, 0
+		if s := q.Get("offset"); s != "" {
+			v, err := strconv.Atoi(s)
+			if err != nil || v < 0 {
+				apiError(w, http.StatusBadRequest, "bad offset %q", s)
+				return
+			}
+			offset = v
+		}
+		if s := q.Get("limit"); s != "" {
+			v, err := strconv.Atoi(s)
+			if err != nil || v < 0 {
+				apiError(w, http.StatusBadRequest, "bad limit %q", s)
+				return
+			}
+			limit = v
+		}
+		conns := in.ConntrackEntries() // sorted by tuple: stable pagination
+		if tuple := q.Get("tuple"); tuple != "" {
+			kept := conns[:0]
+			for _, ci := range conns {
+				if strings.Contains(ci.Tuple, tuple) {
+					kept = append(kept, ci)
+				}
+			}
+			conns = kept
+		}
+		total := len(conns)
+		if offset > len(conns) {
+			offset = len(conns)
+		}
+		conns = conns[offset:]
+		if limit > 0 && limit < len(conns) {
+			conns = conns[:limit]
+		}
+		if conns == nil {
+			conns = []nf.ConnInfo{}
+		}
+		writeJSON(w, map[string]any{
+			"total":   total,
+			"offset":  offset,
+			"entries": conns,
+		})
+	})
 	return a
+}
+
+// nfFromParams resolves the {dpid} parameter to its registered NF
+// introspector, writing the error envelope itself on failure: 404 for
+// an unknown datapath, 501 for a connected datapath with no local
+// introspector (remote hardware), mirroring the trace endpoint.
+func (c *Controller) nfFromParams(w http.ResponseWriter, p map[string]string) (NFIntrospector, bool) {
+	dpid, err := strconv.ParseUint(p["dpid"], 10, 64)
+	if err != nil {
+		apiError(w, http.StatusBadRequest, "bad dpid %q", p["dpid"])
+		return nil, false
+	}
+	in, ok := c.nfIntrospector(dpid)
+	if !ok {
+		if _, connected := c.Switch(dpid); !connected {
+			apiError(w, http.StatusNotFound, "unknown datapath %d", dpid)
+			return nil, false
+		}
+		apiError(w, http.StatusNotImplemented, "no nf introspector for datapath %d", dpid)
+		return nil, false
+	}
+	return in, true
 }
 
 func (c *Controller) switchFromParams(p map[string]string) (*SwitchConn, bool) {

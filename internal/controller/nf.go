@@ -1,0 +1,41 @@
+package controller
+
+import "repro/internal/nf"
+
+// NFIntrospector answers stateful-NF introspection for one datapath:
+// the registered stage modules with their dynamic-state summaries, and
+// the live conntrack entries. Like TracerFunc, the indirection keeps
+// the controller free of a dataplane dependency — emulations register
+// each switch (dataplane.Switch satisfies the interface, core.Start
+// wires it); remote hardware datapaths have no introspector and the
+// API reports that.
+//
+// NF dynamic state is deliberately *not* part of the intended-state
+// audit: the flow rules steering traffic into stages are ordinary
+// audited intent, but conntrack entries and NAT bindings are
+// packet-driven and expire on their own clock. This interface is how
+// that state is observed instead.
+type NFIntrospector interface {
+	StageSummaries() []nf.StageStatus
+	ConntrackEntries() []nf.ConnInfo
+}
+
+// RegisterNFIntrospector wires NF introspection for dpid (nil
+// unregisters), backing GET /v1/nf/{dpid} and /v1/nf/{dpid}/conntrack.
+func (c *Controller) RegisterNFIntrospector(dpid uint64, in NFIntrospector) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if in == nil {
+		delete(c.nfs, dpid)
+		return
+	}
+	c.nfs[dpid] = in
+}
+
+// nfIntrospector returns dpid's registered introspector, if any.
+func (c *Controller) nfIntrospector(dpid uint64) (NFIntrospector, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	in, ok := c.nfs[dpid]
+	return in, ok
+}

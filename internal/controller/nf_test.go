@@ -1,0 +1,141 @@
+package controller
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/nf"
+	"repro/internal/packet"
+	"repro/internal/zof"
+)
+
+func nfUDPFrame(t *testing.T, srcIP, dstIP packet.IPv4Addr, sp, dp uint16) []byte {
+	t.Helper()
+	b := packet.NewBuffer(64)
+	b.AppendBytes([]byte("nf"))
+	udp := packet.UDP{SrcPort: sp, DstPort: dp}
+	udp.SerializeToWithChecksum(b, srcIP, dstIP)
+	ip := packet.IPv4{TTL: 64, Protocol: packet.ProtoUDP, Src: srcIP, Dst: dstIP}
+	ip.SerializeTo(b)
+	eth := packet.Ethernet{
+		Dst:       packet.MACFromUint64(uint64(dstIP.Uint32())),
+		Src:       packet.MACFromUint64(uint64(srcIP.Uint32())),
+		EtherType: packet.EtherTypeIPv4,
+	}
+	eth.SerializeTo(b)
+	return append([]byte(nil), b.Bytes()...)
+}
+
+// TestNFIntrospectionREST is the acceptance check for the redesigned
+// NF introspection API: stage summaries and paginated conntrack dumps
+// over HTTP, with the same 404/501 semantics as the trace endpoint.
+func TestNFIntrospectionREST(t *testing.T) {
+	ctl, sws, _ := newTestController(t, nil, 2)
+	sw := sws[0]
+	ct := nf.NewConntrack(nf.ConntrackConfig{Idle: time.Minute})
+	if err := sw.RegisterStage(1, ct); err != nil {
+		t.Fatal(err)
+	}
+	ctl.RegisterNFIntrospector(sw.DPID(), sw)
+
+	addr, stop, err := ctl.ServeHTTP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	base := "http://" + addr
+
+	// Steer everything through the conntrack stage, then drive five
+	// distinct microflows so the dump has something to paginate.
+	sc, _ := ctl.Switch(1)
+	if err := sc.InstallFlow(&zof.FlowMod{Command: zof.FlowAdd, Match: zof.MatchAll(),
+		Priority: 5, BufferID: zof.NoBuffer,
+		Actions: []zof.Action{zof.NF(1), zof.Output(2)}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Barrier(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	src := packet.IPv4Addr{10, 0, 0, 1}
+	for i := 0; i < 5; i++ {
+		dst := packet.IPv4Addr{10, 0, 0, byte(10 + i)}
+		sw.HandleFrame(1, nfUDPFrame(t, src, dst, uint16(4000+i), 80))
+	}
+
+	// Stage summaries.
+	var stages struct {
+		Stages []nf.StageStatus `json:"stages"`
+	}
+	if code := getJSON(t, base, "/v1/nf/1", &stages); code != 200 {
+		t.Fatalf("nf stages = %d", code)
+	}
+	if len(stages.Stages) != 1 || stages.Stages[0].ID != 1 ||
+		stages.Stages[0].Module != "conntrack" || stages.Stages[0].Summary.Entries != 5 {
+		t.Fatalf("stages = %+v", stages.Stages)
+	}
+
+	// Conntrack dump: full, then paginated, then filtered.
+	type dump struct {
+		Total   int           `json:"total"`
+		Offset  int           `json:"offset"`
+		Entries []nf.ConnInfo `json:"entries"`
+	}
+	var d dump
+	if code := getJSON(t, base, "/v1/nf/1/conntrack", &d); code != 200 {
+		t.Fatalf("conntrack = %d", code)
+	}
+	if d.Total != 5 || len(d.Entries) != 5 || d.Entries[0].Tuple == "" {
+		t.Fatalf("dump = %+v", d)
+	}
+
+	d = dump{}
+	if code := getJSON(t, base, "/v1/nf/1/conntrack?offset=3&limit=10", &d); code != 200 {
+		t.Fatalf("paginated = %d", code)
+	}
+	if d.Total != 5 || d.Offset != 3 || len(d.Entries) != 2 {
+		t.Fatalf("page = %+v", d)
+	}
+
+	d = dump{}
+	path := fmt.Sprintf("/v1/nf/1/conntrack?tuple=%s", "10.0.0.12")
+	if code := getJSON(t, base, path, &d); code != 200 {
+		t.Fatalf("filtered = %d", code)
+	}
+	if d.Total != 1 || len(d.Entries) != 1 {
+		t.Fatalf("filter = %+v", d)
+	}
+
+	// Offset past the end is empty, not an error.
+	d = dump{}
+	if code := getJSON(t, base, "/v1/nf/1/conntrack?offset=100", &d); code != 200 {
+		t.Fatalf("offset past end = %d", code)
+	}
+	if d.Total != 5 || len(d.Entries) != 0 {
+		t.Fatalf("past end = %+v", d)
+	}
+
+	// Error semantics: bad query 400, garbage dpid 400, unknown
+	// datapath 404, connected datapath without an introspector 501.
+	if code := getJSON(t, base, "/v1/nf/1/conntrack?limit=bogus", nil); code != 400 {
+		t.Errorf("bad limit = %d", code)
+	}
+	if code := getJSON(t, base, "/v1/nf/xyz", nil); code != 400 {
+		t.Errorf("garbage dpid = %d", code)
+	}
+	if code := getJSON(t, base, "/v1/nf/99", nil); code != 404 {
+		t.Errorf("unknown dpid = %d", code)
+	}
+	if code := getJSON(t, base, "/v1/nf/2", nil); code != 501 {
+		t.Errorf("no introspector = %d", code)
+	}
+	if code := getJSON(t, base, "/v1/nf/2/conntrack", nil); code != 501 {
+		t.Errorf("no introspector conntrack = %d", code)
+	}
+
+	// Unregistering closes the window again.
+	ctl.RegisterNFIntrospector(sw.DPID(), nil)
+	if code := getJSON(t, base, "/v1/nf/1", nil); code != 501 {
+		t.Errorf("after unregister = %d", code)
+	}
+}

@@ -68,7 +68,16 @@ func (c *Controller) registerMetrics() {
 
 	r.RegisterCounter("controller.dispatch.dispatched", &c.stats.Dispatched)
 	r.RegisterCounter("controller.dispatch.dropped", &c.stats.Dropped)
-	r.RegisterFunc("controller.dispatch.queued", func() int64 { return int64(c.QueuedEvents()) })
+	r.RegisterFunc("controller.dispatch.queued", func() int64 {
+		n := 0
+		for _, sh := range c.shards {
+			n += len(sh)
+		}
+		for _, sh := range c.ctlShards {
+			n += len(sh)
+		}
+		return int64(n)
+	})
 	r.RegisterFunc("controller.dispatch.shards", func() int64 { return int64(len(c.shards)) })
 
 	r.RegisterFunc("controller.switches", func() int64 { return int64(len(*c.switches.Load())) })

@@ -265,38 +265,42 @@ func TestAPIErrorEnvelopes(t *testing.T) {
 	}
 }
 
-// TestDeprecatedAccessorsAgree keeps the thin legacy wrappers honest:
-// they must keep compiling and report the same figures the registry
-// does.
-func TestDeprecatedAccessorsAgree(t *testing.T) {
+// TestRegistryAdoptsLiveInstruments pins the Metrics() contract that
+// replaced the deleted legacy accessors: the registry names report the
+// same live atomics the subsystems bump, and adopted histograms are
+// the very instruments the engines observe into.
+func TestRegistryAdoptsLiveInstruments(t *testing.T) {
 	ctl, sws, _ := newTestController(t, nil, 1)
 	sws[0].HandleFrame(1, arpFrame(packet.MAC{2, 0, 0, 0, 0, 5}, packet.IPv4Addr{10, 0, 0, 5}, packet.IPv4Addr{10, 0, 0, 6}))
-	waitUntil(t, 2*time.Second, func() bool { return ctl.Stats().Dispatched.Value() > 0 })
-
 	reg := ctl.Metrics()
-	if v, _ := reg.Value("controller.dispatch.dispatched"); v != int64(ctl.Stats().Dispatched.Value()) {
-		t.Errorf("dispatched: registry %d, wrapper %d", v, ctl.Stats().Dispatched.Value())
+	waitUntil(t, 2*time.Second, func() bool {
+		v, _ := reg.Value("controller.dispatch.dispatched")
+		return v > 0
+	})
+
+	if v, _ := reg.Value("controller.dispatch.dispatched"); uint64(v) != ctl.stats.Dispatched.Value() {
+		t.Errorf("dispatched: registry %d, live counter %d", v, ctl.stats.Dispatched.Value())
 	}
-	if v, _ := reg.Value("controller.dispatch.queued"); int(v) != ctl.QueuedEvents() && ctl.QueuedEvents() == 0 {
-		t.Errorf("queued: registry %d, wrapper %d", v, ctl.QueuedEvents())
+	if v, _ := reg.Value("controller.async_errors"); uint64(v) != ctl.asyncErrors.Value() {
+		t.Errorf("async errors: registry %d, live counter %d", v, ctl.asyncErrors.Value())
 	}
-	if v, _ := reg.Value("controller.async_errors"); uint64(v) != ctl.AsyncErrors() {
-		t.Errorf("async errors: registry %d, wrapper %d", v, ctl.AsyncErrors())
-	}
-	if v, _ := reg.Value("controller.liveness.stale_flows"); uint64(v) != ctl.Liveness().StaleFlows.Value() {
+	if v, _ := reg.Value("controller.liveness.stale_flows"); uint64(v) != ctl.liveness.StaleFlows.Value() {
 		t.Errorf("stale flows disagree: %d", v)
 	}
-	if v, _ := reg.Value("controller.txn.commits"); uint64(v) != ctl.Txns().Commits.Value() {
+	if v, _ := reg.Value("controller.txn.commits"); uint64(v) != ctl.txnStats.Commits.Value() {
 		t.Errorf("txn commits disagree: %d", v)
 	}
-	if v, _ := reg.Value("controller.audit.audits"); uint64(v) != ctl.Audits().Audits.Value() {
+	if v, _ := reg.Value("controller.audit.audits"); uint64(v) != ctl.auditStats.Audits.Value() {
 		t.Errorf("audits disagree: %d", v)
 	}
-	if v, _ := reg.Value("controller.liveness.last_detection_ns"); time.Duration(v) != ctl.LastDetection() {
+	if v, _ := reg.Value("controller.liveness.last_detection_ns"); v != ctl.detectNanos.Load() {
 		t.Errorf("last detection disagree: %d", v)
 	}
+	if v, ok := reg.Value("controller.dispatch.queued"); !ok || v < 0 {
+		t.Errorf("queued gauge missing or negative: %d %v", v, ok)
+	}
 	// The registry histogram is the same instrument the engine observes.
-	if reg.Histogram("controller.txn.latency") != ctl.Txns().Latency {
+	if reg.Histogram("controller.txn.latency") != ctl.txnStats.Latency {
 		t.Error("txn latency histogram is not the adopted instrument")
 	}
 }

@@ -71,6 +71,9 @@ func Start(opts Options) (*Network, error) {
 		ctl.RegisterTracer(sw.DPID(), func(inPort uint32, frame []byte) (any, error) {
 			return sw.Trace(inPort, frame), nil
 		})
+		// Same in-process privilege backs the stateful-NF introspection
+		// API (GET /v1/nf/{dpid} and /v1/nf/{dpid}/conntrack).
+		ctl.RegisterNFIntrospector(sw.DPID(), sw)
 	}
 	if err := ctl.WaitForSwitches(opts.Graph.NumNodes(), opts.ConnectTimeout); err != nil {
 		n.Stop()

@@ -4,7 +4,9 @@ import (
 	"sync"
 
 	"repro/internal/flowtable"
+	"repro/internal/nf"
 	"repro/internal/packet"
+	"repro/internal/zof"
 )
 
 // burst is the pooled working state of one HandleBurst call: per-frame
@@ -44,6 +46,10 @@ type burst struct {
 	// those, keeping 1-frame bursts cheap after a large one.
 	tab  []int32
 	used []int32
+
+	// Scratch vector of packet views for ProcessBurst when a run of
+	// same-microflow frames steers into an NF stage.
+	pkts []*nf.Packet
 }
 
 // burstGroup is one microflow within a burst: every frame sharing a
@@ -78,6 +84,7 @@ func (b *burst) grow(n int) {
 		b.reqs = make([]flowtable.BatchLookup, 0, n)
 		b.reqGroup = make([]int32, 0, n)
 		b.used = make([]int32, 0, n)
+		b.pkts = make([]*nf.Packet, 0, n)
 		tn := 1
 		for tn < 2*n {
 			tn <<= 1
@@ -100,6 +107,7 @@ func (b *burst) grow(n int) {
 	b.reqs = b.reqs[:0]
 	b.reqGroup = b.reqGroup[:0]
 	b.used = b.used[:0]
+	b.pkts = b.pkts[:0]
 }
 
 // putBurst resets the grouping table and drops entry references before
@@ -118,6 +126,10 @@ func putBurst(b *burst) {
 	for i := range b.reqs {
 		b.reqs[i] = flowtable.BatchLookup{}
 	}
+	for i := range b.pkts {
+		b.pkts[i] = nil
+	}
+	b.pkts = b.pkts[:0]
 	b.one[0] = nil
 	burstPool.Put(b)
 }
@@ -253,13 +265,62 @@ func (s *Switch) runBurst(pl *pipeline, p *Port, inPort uint32, frames [][]byte,
 	}
 
 	// Execute in arrival order so per-port frame and packet-in ordering
-	// match the frame-at-a-time path exactly.
-	for i, data := range frames {
+	// match the frame-at-a-time path exactly. A run of consecutive
+	// frames of one microflow whose rule leads with an nf action is
+	// vectored through the stage's ProcessBurst — the packets share the
+	// tuple by construction (same cache key), so the stage does one
+	// state lookup for the whole run — then each frame resumes the
+	// rule's remaining actions individually.
+	for i := 0; i < len(frames); {
 		x := b.execs[i]
 		if x == nil {
+			i++
 			continue
 		}
-		x.run(inPort, data, b.entries[b.group[i]], now)
+		g := b.group[i]
+		e := b.entries[g]
+		if e != nil && len(e.Actions) > 0 && e.Actions[0].Type == zof.ActNF {
+			if st := pl.stages[e.Actions[0].Port]; st != nil {
+				// Extend the run: same microflow, dead frames skipped.
+				j := i + 1
+				for j < len(frames) && (b.execs[j] == nil || b.group[j] == g) {
+					j++
+				}
+				b.pkts = b.pkts[:0]
+				for k := i; k < j; k++ {
+					xx := b.execs[k]
+					if xx == nil {
+						continue
+					}
+					xx.now = now
+					p := &xx.pkt
+					p.InPort = inPort
+					p.Data = frames[k]
+					p.Frame = &xx.frame
+					p.Mem = xx
+					p.Now = now
+					p.Explain = false
+					p.Note = ""
+					p.Verdict = nf.VerdictContinue
+					b.pkts = append(b.pkts, p)
+				}
+				st.ProcessBurst(b.pkts)
+				for k := i; k < j; k++ {
+					xx := b.execs[k]
+					if xx == nil {
+						continue
+					}
+					if xx.pkt.Verdict != nf.VerdictDrop {
+						xx.runFrom(inPort, xx.pkt.Data, e, now, 1)
+					}
+					xx.release()
+					b.execs[k] = nil
+				}
+				i = j
+				continue
+			}
+		}
+		x.run(inPort, frames[i], e, now)
 		x.release()
 		b.execs[i] = nil
 	}

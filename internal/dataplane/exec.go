@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/flowtable"
+	"repro/internal/nf"
 	"repro/internal/packet"
 	"repro/internal/zof"
 )
@@ -46,6 +47,14 @@ type exec struct {
 	frame packet.Frame
 	owned *[]byte // pooled buffer this exec owns, or nil while borrowing
 
+	// now is the burst timestamp the execution runs at; NF stages get
+	// it so conntrack timestamps cost no extra clock reads.
+	now time.Time
+
+	// pkt is the embedded nf.Packet handed to NF stages — embedded so
+	// steering a frame into a stage allocates nothing.
+	pkt nf.Packet
+
 	// trace, when non-nil, puts the execution in explain mode: matches,
 	// rewrites and group selection run exactly as live, but nothing
 	// leaves the switch — outputs and packet-ins are recorded into the
@@ -69,6 +78,7 @@ func (x *exec) release() {
 		bufPut(x.owned)
 		x.owned = nil
 	}
+	x.pkt = nf.Packet{}
 	x.sw, x.pl, x.trace = nil, nil, nil
 	execPool.Put(x)
 }
@@ -100,6 +110,62 @@ func (x *exec) reframe(bp *[]byte) []byte {
 	}
 	x.owned = bp
 	return *bp
+}
+
+// exec implements nf.Mem, lending NF stages the pooled copy-on-write
+// buffer discipline of the native rewrite actions.
+
+// EnsureOwned implements nf.Mem.
+func (x *exec) EnsureOwned(data []byte) []byte { return x.ensureOwned(data) }
+
+// Grow implements nf.Mem: an owned buffer with head fresh bytes in
+// front of data (tunnel encap). The copy happens before reframe
+// releases any previously owned buffer.
+func (x *exec) Grow(data []byte, head int) []byte {
+	bp := bufGet(len(data) + head)
+	copy((*bp)[head:], data)
+	return x.reframe(bp)
+}
+
+// Shrink implements nf.Mem: an owned buffer holding data[off:]
+// (tunnel decap).
+func (x *exec) Shrink(data []byte, off int) []byte {
+	bp := bufGet(len(data) - off)
+	copy(*bp, data[off:])
+	return x.reframe(bp)
+}
+
+// runStage hands the frame to the NF stage registered under id. It
+// returns the (possibly rewritten or reframed) bytes and whether the
+// stage consumed the frame. A missing stage — unregistered mid-flight —
+// is a pass-through: the steering rule is controller-owned intent that
+// outlives the module, and fail-open keeps it inert rather than a drop.
+func (x *exec) runStage(inPort uint32, data []byte, id uint32) ([]byte, bool) {
+	st := x.pl.stages[id]
+	if st == nil {
+		if x.trace != nil {
+			x.trace.Stages = append(x.trace.Stages, TraceStage{ID: id, Missing: true})
+		}
+		return data, false
+	}
+	p := &x.pkt
+	p.InPort = inPort
+	p.Data = data
+	p.Frame = &x.frame
+	p.Mem = x
+	p.Now = x.now
+	p.Explain = x.trace != nil
+	p.Note = ""
+	v := st.Process(p)
+	if x.trace != nil {
+		x.trace.Stages = append(x.trace.Stages, TraceStage{
+			ID: id, Module: st.Name(), Verdict: v.String(), Note: p.Note,
+		})
+		if v == nf.VerdictDrop && x.trace.Verdict == "" {
+			x.trace.Verdict = "dropped: nf " + st.Name()
+		}
+	}
+	return p.Data, v == nf.VerdictDrop
 }
 
 // apply executes an action list against the frame bytes. It returns
@@ -148,6 +214,14 @@ func (x *exec) apply(inPort uint32, data []byte, acts []zof.Action, depth int) (
 						TraceOutput{Port: a.Port, Kind: "port", Missing: true})
 				}
 			}
+		case zof.ActNF:
+			var dropped bool
+			data, dropped = x.runStage(inPort, data, a.Port)
+			if dropped {
+				// The stage consumed the frame: remaining actions (and any
+				// resubmit they would have requested) do not run.
+				return data, false
+			}
 		case zof.ActGroup:
 			g := x.pl.groups[a.Port]
 			if g == nil {
@@ -169,6 +243,7 @@ func (x *exec) apply(inPort uint32, data []byte, acts []zof.Action, depth int) (
 				// into this execution's frame.
 				bx := getExec(x.sw, x.pl)
 				bx.trace = x.trace
+				bx.now = x.now
 				bp := bufGet(len(data))
 				copy(*bp, data)
 				bx.owned = bp
@@ -248,14 +323,28 @@ func (x *exec) packetIn(inPort uint32, data []byte, tableID, reason uint8, cooki
 // run pushes a decoded frame through the multi-table pipeline starting
 // at table 0 with the given first-table result.
 func (x *exec) run(inPort uint32, data []byte, entry *flowtable.Entry, now time.Time) {
+	x.runFrom(inPort, data, entry, now, 0)
+}
+
+// runFrom is run with the first skip actions of the first entry
+// already executed — the burst engine uses it after vectoring a run of
+// frames through a leading nf action, resuming each frame at the
+// action after it.
+func (x *exec) runFrom(inPort uint32, data []byte, entry *flowtable.Entry, now time.Time, skip int) {
+	x.now = now
 	tableID := 0
 	for {
 		if entry == nil {
 			x.miss(inPort, data, uint8(tableID))
 			return
 		}
+		acts := entry.Actions
+		if skip > 0 {
+			acts = acts[skip:]
+			skip = 0
+		}
 		var resubmit bool
-		data, resubmit = x.apply(inPort, data, entry.Actions, 0)
+		data, resubmit = x.apply(inPort, data, acts, 0)
 		if !resubmit {
 			return
 		}

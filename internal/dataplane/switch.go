@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/flowtable"
 	"repro/internal/metrics"
+	"repro/internal/nf"
 	"repro/internal/packet"
 	"repro/internal/zof"
 )
@@ -38,6 +39,7 @@ type pipeline struct {
 	ports    map[uint32]*Port
 	portList []*Port // ascending port number: deterministic flood order
 	sinks    []func(zof.Message)
+	stages   map[uint32]nf.Stage // NF modules reachable from nf:<id> actions
 }
 
 // Switch is a software datapath. Control operations (flow mods, group
@@ -55,6 +57,7 @@ type Switch struct {
 	tables      []*flowtable.Table
 	groups      map[uint32]*GroupDesc
 	ports       map[uint32]*Port
+	stages      map[uint32]nf.Stage
 	controllers map[int]func(zof.Message)
 	nextSink    int
 
@@ -89,6 +92,7 @@ func NewSwitch(cfg Config) *Switch {
 		burstSizes:  metrics.NewHistogram(),
 		groups:      make(map[uint32]*GroupDesc),
 		ports:       make(map[uint32]*Port),
+		stages:      make(map[uint32]nf.Stage),
 		buffers:     newPacketBuffers(cfg.Buffers),
 		controllers: make(map[int]func(zof.Message)),
 	}
@@ -113,9 +117,13 @@ func (s *Switch) publishLocked() {
 		ports:    make(map[uint32]*Port, len(s.ports)),
 		portList: make([]*Port, 0, len(s.ports)),
 		sinks:    make([]func(zof.Message), 0, len(s.controllers)),
+		stages:   make(map[uint32]nf.Stage, len(s.stages)),
 	}
 	for id, g := range s.groups {
 		pl.groups[id] = g
+	}
+	for id, st := range s.stages {
+		pl.stages[id] = st
 	}
 	for no, p := range s.ports {
 		pl.ports[no] = p
@@ -266,6 +274,73 @@ func (s *Switch) DeleteGroup(id uint32) bool {
 	return true
 }
 
+// RegisterStage installs an NF module under id, making nf:<id> actions
+// legal in flow mods. Stage ids are switch-local names like group ids;
+// registering over a live id is refused so an operator cannot silently
+// swap the state machine behind flowing traffic.
+func (s *Switch) RegisterStage(id uint32, st nf.Stage) error {
+	if st == nil {
+		return fmt.Errorf("nil stage")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.stages[id]; exists {
+		return fmt.Errorf("nf stage %d already registered", id)
+	}
+	s.stages[id] = st
+	s.publishLocked()
+	return nil
+}
+
+// UnregisterStage removes the NF module under id. Flows steering into
+// the id are left installed and become pass-throughs (fail-open): the
+// rules are controller-owned intent, and cascading deletes here would
+// fight the auditor, which would dutifully re-add them as drift.
+func (s *Switch) UnregisterStage(id uint32) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.stages[id]; !ok {
+		return false
+	}
+	delete(s.stages, id)
+	s.publishLocked()
+	return true
+}
+
+// Stage returns the NF module registered under id. Lock-free: reads
+// the published snapshot.
+func (s *Switch) Stage(id uint32) (nf.Stage, bool) {
+	st := s.pl.Load().stages[id]
+	return st, st != nil
+}
+
+// StageSummaries reports every registered NF module with its dynamic
+// state, in id order — the introspection view behind GET /v1/nf.
+func (s *Switch) StageSummaries() []nf.StageStatus {
+	pl := s.pl.Load()
+	out := make([]nf.StageStatus, 0, len(pl.stages))
+	for id, st := range pl.stages {
+		out = append(out, nf.StageStatus{ID: id, Module: st.Name(), Summary: st.StateSummary()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ConntrackEntries dumps the live connection entries of every
+// registered conntrack-style module, sorted by tuple.
+func (s *Switch) ConntrackEntries() []nf.ConnInfo {
+	pl := s.pl.Load()
+	now := s.cfg.Clock()
+	var out []nf.ConnInfo
+	for _, st := range pl.stages {
+		if d, ok := st.(nf.ConnDumper); ok {
+			out = append(out, d.Conns(now)...)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tuple < out[j].Tuple })
+	return out
+}
+
 // FlowCount returns the number of entries across tables (test aid).
 func (s *Switch) FlowCount() int {
 	n := 0
@@ -303,10 +378,17 @@ func (s *Switch) HandleFrame(inPort uint32, data []byte) {
 	putBurst(b)
 }
 
-// Tick sweeps expired flows at now, emitting FlowRemoved where asked.
+// Tick sweeps expired flows at now, emitting FlowRemoved where asked,
+// and drives the time-based state of registered NF stages (conntrack
+// idle expiry).
 func (s *Switch) Tick(now time.Time) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	for _, st := range s.stages {
+		if tk, ok := st.(nf.Ticker); ok {
+			tk.Tick(now)
+		}
+	}
 	for i, t := range s.tables {
 		for _, rm := range t.Sweep(now) {
 			if rm.Entry.Flags&zof.FlagSendFlowRemoved == 0 || len(s.controllers) == 0 {
@@ -382,14 +464,20 @@ func errCode(err error) uint16 {
 }
 
 // validateActionsLocked rejects action lists referencing state the
-// switch does not have — today, group actions naming an uninstalled
-// group. Real silicon refuses such mods; accepting them here would let
-// the controller believe in rules that can never forward.
+// switch does not have — group actions naming an uninstalled group, nf
+// actions naming an unregistered stage. Real silicon refuses such
+// mods; accepting them here would let the controller believe in rules
+// that can never forward (or never firewall).
 func (s *Switch) validateActionsLocked(acts []zof.Action) error {
 	for _, a := range acts {
-		if a.Type == zof.ActGroup {
+		switch a.Type {
+		case zof.ActGroup:
 			if _, ok := s.groups[a.Port]; !ok {
 				return &codeError{zof.ErrCodeBadGroup, fmt.Sprintf("no group %d", a.Port)}
+			}
+		case zof.ActNF:
+			if _, ok := s.stages[a.Port]; !ok {
+				return &codeError{zof.ErrCodeBadAction, fmt.Sprintf("no nf stage %d", a.Port)}
 			}
 		}
 	}
@@ -401,6 +489,7 @@ func (s *Switch) validateActionsLocked(acts []zof.Action) error {
 // the current snapshot like any datapath frame would.
 func (s *Switch) inject(inPort uint32, data []byte, acts []zof.Action) {
 	x := getExec(s, s.pl.Load())
+	x.now = s.cfg.Clock()
 	if packet.Decode(data, &x.frame) == nil {
 		x.apply(inPort, data, acts, 0)
 	}

@@ -23,6 +23,7 @@ type PacketTrace struct {
 	Groups    []TraceGroup    `json:"groups,omitempty"`
 	Outputs   []TraceOutput   `json:"outputs,omitempty"`
 	PacketIns []TracePacketIn `json:"packet_ins,omitempty"`
+	Stages    []TraceStage    `json:"nf,omitempty"`
 }
 
 // TraceStep is one table's decision: the rule matched (or the miss) and
@@ -58,6 +59,19 @@ type TraceOutput struct {
 type TracePacketIn struct {
 	Table  uint8  `json:"table"`
 	Reason string `json:"reason"`
+}
+
+// TraceStage is one NF stage the traversal walked, in
+// recorded-not-executed mode: the stage looked its state up and
+// rewrote the trace's private copy, but created no entry, allocated no
+// port, moved no counter. Note carries the stage's own explanation
+// ("established orig tcp ...", "would-allocate ...").
+type TraceStage struct {
+	ID      uint32 `json:"id"`
+	Module  string `json:"module,omitempty"`
+	Verdict string `json:"verdict,omitempty"`
+	Note    string `json:"note,omitempty"`
+	Missing bool   `json:"missing,omitempty"` // action named an unregistered stage
 }
 
 // noteGroup records a group selection: which group, its semantics, and
@@ -147,6 +161,7 @@ func (s *Switch) Trace(inPort uint32, data []byte) *PacketTrace {
 	}
 	x := getExec(s, pl)
 	x.trace = tr
+	x.now = s.cfg.Clock()
 	if err := packet.Decode(data, &x.frame); err != nil {
 		x.release()
 		tr.Verdict = "dropped: malformed frame"
@@ -236,5 +251,10 @@ func (s *Switch) RegisterMetrics(r *obs.Registry, prefix string) {
 		ts.RegisterFunc("lookups", func() int64 { return int64(t.Lookups()) })
 		ts.RegisterFunc("matches", func() int64 { return int64(t.Matches()) })
 		ts.RegisterFunc("active", func() int64 { return int64(t.Len()) })
+	}
+	for _, st := range s.pl.Load().stages {
+		st := st
+		sc.Scope("nf."+st.Name()).RegisterFunc("entries",
+			func() int64 { return int64(st.StateSummary().Entries) })
 	}
 }

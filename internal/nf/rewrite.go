@@ -1,0 +1,104 @@
+package nf
+
+import (
+	"encoding/binary"
+
+	"repro/internal/packet"
+)
+
+// The helpers below mutate frame bytes the stage already owns (after
+// Mem.EnsureOwned/Grow/Shrink) and keep the decoded view and checksums
+// in sync — the same discipline as the dataplane's set-field actions.
+
+// ethEnd returns the offset of the first byte past the L2 headers.
+func ethEnd(f *packet.Frame) int {
+	n := packet.EthernetHeaderLen
+	if f.Has(packet.LayerVLAN) {
+		n += packet.Dot1QHeaderLen
+	}
+	return n
+}
+
+// setIPSrc rewrites the IPv4 source address in owned data.
+func setIPSrc(data []byte, f *packet.Frame, ip packet.IPv4Addr) {
+	e := ethEnd(f)
+	copy(data[e+12:e+16], ip[:])
+	f.IPv4.Src = ip
+	fixIPChecksum(data, f, e)
+	fixL4Checksum(data, f, e)
+}
+
+// setIPDst rewrites the IPv4 destination address in owned data.
+func setIPDst(data []byte, f *packet.Frame, ip packet.IPv4Addr) {
+	e := ethEnd(f)
+	copy(data[e+16:e+20], ip[:])
+	f.IPv4.Dst = ip
+	fixIPChecksum(data, f, e)
+	fixL4Checksum(data, f, e)
+}
+
+// setTPSrc / setTPDst rewrite the TCP/UDP ports in owned data.
+func setTPSrc(data []byte, f *packet.Frame, port uint16) {
+	e := ethEnd(f)
+	off := e + f.IPv4.HeaderLen()
+	binary.BigEndian.PutUint16(data[off:off+2], port)
+	if f.Has(packet.LayerTCP) {
+		f.TCP.SrcPort = port
+	} else if f.Has(packet.LayerUDP) {
+		f.UDP.SrcPort = port
+	}
+	fixL4Checksum(data, f, e)
+}
+
+func setTPDst(data []byte, f *packet.Frame, port uint16) {
+	e := ethEnd(f)
+	off := e + f.IPv4.HeaderLen()
+	binary.BigEndian.PutUint16(data[off+2:off+4], port)
+	if f.Has(packet.LayerTCP) {
+		f.TCP.DstPort = port
+	} else if f.Has(packet.LayerUDP) {
+		f.UDP.DstPort = port
+	}
+	fixL4Checksum(data, f, e)
+}
+
+// fixIPChecksum recomputes the IPv4 header checksum in place.
+func fixIPChecksum(data []byte, f *packet.Frame, ethEnd int) {
+	hl := f.IPv4.HeaderLen()
+	h := data[ethEnd : ethEnd+hl]
+	h[10], h[11] = 0, 0
+	sum := packet.Checksum(h, 0)
+	binary.BigEndian.PutUint16(h[10:12], sum)
+	f.IPv4.Checksum = sum
+}
+
+// fixL4Checksum recomputes the TCP/UDP checksum in place; a UDP
+// checksum of zero (disabled) stays zero.
+func fixL4Checksum(data []byte, f *packet.Frame, ethEnd int) {
+	if !f.Has(packet.LayerTCP) && !f.Has(packet.LayerUDP) {
+		return
+	}
+	off := ethEnd + f.IPv4.HeaderLen()
+	seg := data[off:]
+	segLen := int(f.IPv4.Length) - f.IPv4.HeaderLen()
+	if segLen >= 0 && segLen <= len(seg) {
+		seg = seg[:segLen]
+	}
+	if f.Has(packet.LayerTCP) {
+		seg[16], seg[17] = 0, 0
+		sum := packet.TransportChecksum(seg, f.IPv4.Src, f.IPv4.Dst, packet.ProtoTCP)
+		binary.BigEndian.PutUint16(seg[16:18], sum)
+		f.TCP.Checksum = sum
+		return
+	}
+	if binary.BigEndian.Uint16(seg[6:8]) == 0 {
+		return // checksum disabled
+	}
+	seg[6], seg[7] = 0, 0
+	sum := packet.TransportChecksum(seg, f.IPv4.Src, f.IPv4.Dst, packet.ProtoUDP)
+	if sum == 0 {
+		sum = 0xffff
+	}
+	binary.BigEndian.PutUint16(seg[6:8], sum)
+	f.UDP.Checksum = sum
+}

@@ -1,0 +1,214 @@
+package nf
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/packet"
+)
+
+// TunnelOverhead is the bytes a VXLAN-like encap prepends: outer
+// Ethernet + option-less IPv4 + UDP + 8-byte VXLAN header.
+const TunnelOverhead = packet.EthernetHeaderLen + packet.IPv4MinHeaderLen +
+	packet.UDPHeaderLen + vxlanHeaderLen
+
+const (
+	vxlanHeaderLen   = 8
+	vxlanFlagVNI     = 0x08 // "VNI present" flag byte
+	DefaultVXLANPort = 4789
+)
+
+// TunnelConfig configures a point-to-point VXLAN-like tunnel between a
+// local and a remote VTEP. Encap and decap are separate stages built
+// from the same config, so each direction of a steering rule composes
+// exactly the stage it needs.
+type TunnelConfig struct {
+	Name      string // base stage name; default "vxlan"
+	VNI       uint32 // 24-bit virtual network id
+	LocalIP   packet.IPv4Addr
+	RemoteIP  packet.IPv4Addr
+	LocalMAC  packet.MAC
+	RemoteMAC packet.MAC
+	UDPPort   uint16 // outer UDP destination port; default 4789
+}
+
+func (c *TunnelConfig) fill() {
+	if c.Name == "" {
+		c.Name = "vxlan"
+	}
+	if c.UDPPort == 0 {
+		c.UDPPort = DefaultVXLANPort
+	}
+}
+
+// TunnelEncap wraps frames in outer Eth+IPv4+UDP+VXLAN headers toward
+// the remote VTEP. The outer UDP source port carries the inner flow's
+// symmetric hash, the standard trick that lets the underlay ECMP
+// distinct overlay flows without parsing past the outer header.
+type TunnelEncap struct {
+	cfg      TunnelConfig
+	encapped atomic.Uint64
+	bytes    atomic.Uint64 // overhead bytes added
+}
+
+// NewTunnelEncap builds the encap stage.
+func NewTunnelEncap(cfg TunnelConfig) *TunnelEncap {
+	cfg.fill()
+	return &TunnelEncap{cfg: cfg}
+}
+
+// Name implements Stage.
+func (t *TunnelEncap) Name() string { return t.cfg.Name + "-encap" }
+
+// Process implements Stage.
+func (t *TunnelEncap) Process(p *Packet) Verdict {
+	inner := len(p.Data)
+	// Outer UDP source-port entropy from the inner flow, before the
+	// decoded view flips to the outer headers.
+	srcPort := 49152 | uint16(packet.ExtractFlowKey(p.Frame).SymmetricHash()&0x3fff)
+
+	data := p.Mem.Grow(p.Data, TunnelOverhead)
+	h := data[:TunnelOverhead]
+
+	// Outer Ethernet.
+	copy(h[0:6], t.cfg.RemoteMAC[:])
+	copy(h[6:12], t.cfg.LocalMAC[:])
+	binary.BigEndian.PutUint16(h[12:14], packet.EtherTypeIPv4)
+
+	// Outer IPv4 (option-less, DF, TTL 64).
+	ip := h[14:34]
+	ip[0] = 0x45
+	ip[1] = 0
+	binary.BigEndian.PutUint16(ip[2:4], uint16(packet.IPv4MinHeaderLen+packet.UDPHeaderLen+vxlanHeaderLen+inner))
+	binary.BigEndian.PutUint16(ip[4:6], 0)
+	binary.BigEndian.PutUint16(ip[6:8], uint16(packet.IPv4DontFragment)<<13)
+	ip[8] = 64
+	ip[9] = packet.ProtoUDP
+	ip[10], ip[11] = 0, 0
+	copy(ip[12:16], t.cfg.LocalIP[:])
+	copy(ip[16:20], t.cfg.RemoteIP[:])
+	binary.BigEndian.PutUint16(ip[10:12], packet.Checksum(ip, 0))
+
+	// Outer UDP; checksum 0 (legal for UDP/IPv4, and what VXLAN uses).
+	udp := h[34:42]
+	binary.BigEndian.PutUint16(udp[0:2], srcPort)
+	binary.BigEndian.PutUint16(udp[2:4], t.cfg.UDPPort)
+	binary.BigEndian.PutUint16(udp[4:6], uint16(packet.UDPHeaderLen+vxlanHeaderLen+inner))
+	udp[6], udp[7] = 0, 0
+
+	// VXLAN header: flags + 24-bit VNI.
+	vx := h[42:50]
+	binary.BigEndian.PutUint32(vx[0:4], uint32(vxlanFlagVNI)<<24)
+	binary.BigEndian.PutUint32(vx[4:8], (t.cfg.VNI&0xffffff)<<8)
+
+	p.Data = data
+	// The decoded view now describes the outer packet; the inner frame
+	// is opaque payload to downstream match/output actions.
+	_ = packet.Decode(data, p.Frame)
+	if p.Explain {
+		p.Note = fmt.Sprintf("vni %d %s -> %s", t.cfg.VNI, t.cfg.LocalIP, t.cfg.RemoteIP)
+	} else {
+		t.encapped.Add(1)
+		t.bytes.Add(TunnelOverhead)
+	}
+	return VerdictContinue
+}
+
+// ProcessBurst implements Stage. Encap rewrites every frame anyway;
+// the shared-tuple contract buys nothing here, so it is a plain loop.
+func (t *TunnelEncap) ProcessBurst(ps []*Packet) {
+	for _, p := range ps {
+		p.Verdict = t.Process(p)
+	}
+}
+
+// StateSummary implements Stage. Encap is stateless; entries stay 0.
+func (t *TunnelEncap) StateSummary() StateSummary {
+	return StateSummary{Counters: map[string]uint64{
+		"encapped":       t.encapped.Load(),
+		"overhead_bytes": t.bytes.Load(),
+	}}
+}
+
+// TunnelDecap strips the outer Eth+IPv4+UDP+VXLAN headers after
+// verifying the UDP port and VNI; frames that are not this tunnel's
+// are dropped (a real VTEP would hand them to the next tunnel).
+type TunnelDecap struct {
+	cfg      TunnelConfig
+	decapped atomic.Uint64
+	notVXLAN atomic.Uint64 // outer headers don't parse as this tunnel's UDP port
+	badVNI   atomic.Uint64
+}
+
+// NewTunnelDecap builds the decap stage.
+func NewTunnelDecap(cfg TunnelConfig) *TunnelDecap {
+	cfg.fill()
+	return &TunnelDecap{cfg: cfg}
+}
+
+// Name implements Stage.
+func (t *TunnelDecap) Name() string { return t.cfg.Name + "-decap" }
+
+// Process implements Stage.
+func (t *TunnelDecap) Process(p *Packet) Verdict {
+	f := p.Frame
+	if !f.Has(packet.LayerUDP) || f.UDP.DstPort != t.cfg.UDPPort {
+		if p.Explain {
+			p.Note = "not a vxlan frame, drop"
+		} else {
+			t.notVXLAN.Add(1)
+		}
+		return VerdictDrop
+	}
+	off := ethEnd(f) + f.IPv4.HeaderLen() + packet.UDPHeaderLen
+	if len(p.Data) < off+vxlanHeaderLen+packet.EthernetHeaderLen {
+		if p.Explain {
+			p.Note = "truncated vxlan frame, drop"
+		} else {
+			t.notVXLAN.Add(1)
+		}
+		return VerdictDrop
+	}
+	vx := p.Data[off : off+vxlanHeaderLen]
+	vni := binary.BigEndian.Uint32(vx[4:8]) >> 8
+	if vx[0]&vxlanFlagVNI == 0 || vni != t.cfg.VNI&0xffffff {
+		if p.Explain {
+			p.Note = fmt.Sprintf("vni %d != %d, drop", vni, t.cfg.VNI)
+		} else {
+			t.badVNI.Add(1)
+		}
+		return VerdictDrop
+	}
+	p.Data = p.Mem.Shrink(p.Data, off+vxlanHeaderLen)
+	if err := packet.Decode(p.Data, f); err != nil {
+		if p.Explain {
+			p.Note = "inner frame malformed, drop"
+		} else {
+			t.notVXLAN.Add(1)
+		}
+		return VerdictDrop
+	}
+	if p.Explain {
+		p.Note = fmt.Sprintf("vni %d, inner exposed", vni)
+	} else {
+		t.decapped.Add(1)
+	}
+	return VerdictContinue
+}
+
+// ProcessBurst implements Stage.
+func (t *TunnelDecap) ProcessBurst(ps []*Packet) {
+	for _, p := range ps {
+		p.Verdict = t.Process(p)
+	}
+}
+
+// StateSummary implements Stage.
+func (t *TunnelDecap) StateSummary() StateSummary {
+	return StateSummary{Counters: map[string]uint64{
+		"decapped":  t.decapped.Load(),
+		"not_vxlan": t.notVXLAN.Load(),
+		"bad_vni":   t.badVNI.Load(),
+	}}
+}

@@ -34,13 +34,14 @@ const (
 	ActSetTPDst
 	ActGroup
 	ActSetQueue
+	ActNF
 	actMax
 )
 
 var actionNames = [...]string{
 	"output", "set_vlan", "strip_vlan", "set_eth_src", "set_eth_dst",
 	"set_ip_src", "set_ip_dst", "set_tos", "set_tp_src", "set_tp_dst",
-	"group", "set_queue",
+	"group", "set_queue", "nf",
 }
 
 // String names the action type.
@@ -75,6 +76,13 @@ func OutputController(maxLen uint16) Action {
 
 // Group builds a group action.
 func Group(id uint32) Action { return Action{Type: ActGroup, Port: id} }
+
+// NF builds a network-function steering action: the frame is handed to
+// the stage registered under id on the datapath (conntrack, NAT,
+// tunnel encap/decap, ...) before the remaining actions run. Like
+// ActGroup, the id names switch-local state; installing a rule that
+// references an unregistered stage is refused.
+func NF(id uint32) Action { return Action{Type: ActNF, Port: id} }
 
 // SetEthSrc/SetEthDst/SetIPSrc/SetIPDst build rewrite actions.
 func SetEthSrc(m packet.MAC) Action     { return Action{Type: ActSetEthSrc, MAC: m} }
@@ -178,6 +186,8 @@ func (a Action) String() string {
 		return fmt.Sprintf("group:%d", a.Port)
 	case ActSetQueue:
 		return fmt.Sprintf("set_queue:%d", a.Port)
+	case ActNF:
+		return fmt.Sprintf("nf:%d", a.Port)
 	}
 	return a.Type.String()
 }
